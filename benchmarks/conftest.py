@@ -1,0 +1,105 @@
+"""Shared benchmark fixtures and the paper-table reporter.
+
+Every benchmark regenerates one table or figure of the paper's §5 on the
+synthetic Brandeis dataset.  Scale is controlled by the
+``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — the horizons that complete in seconds-to-a-couple-
+  minutes on a laptop; rows beyond the machine's reach are reported as
+  N/A via explicit budgets (the paper itself reports N/A where its server
+  ran out of memory).
+* ``paper`` — the paper's full horizon range; expect several minutes and
+  multiple gigabytes.
+
+Each benchmark also *prints* the regenerated table (via ``report_rows``)
+so ``pytest benchmarks/ --benchmark-only -s`` shows the paper-format
+numbers next to pytest-benchmark's timing statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import pytest
+
+from repro.core import ExplorationConfig
+from repro.data import brandeis_catalog, brandeis_major_goal
+
+__all__ = ["BenchScale", "report_rows"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Scale preset resolved from ``REPRO_BENCH_SCALE``."""
+
+    name: str
+    table1_semesters: Sequence[int]
+    table2_semesters: Sequence[int]
+    figure4_semesters: Sequence[int]
+    figure4_ks: Sequence[int]
+    max_frontier: int
+    transcript_students: int
+
+
+_SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        table1_semesters=(4,),
+        table2_semesters=(4, 5, 6, 7),
+        figure4_semesters=(6, 7, 8),
+        figure4_ks=(10, 100, 500, 1000),
+        max_frontier=1_500_000,
+        transcript_students=83,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        table1_semesters=(4, 5),
+        table2_semesters=(4, 5, 6, 7),
+        figure4_semesters=(6, 7, 8),
+        figure4_ks=(10, 100, 500, 1000),
+        max_frontier=4_000_000,
+        transcript_students=83,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return brandeis_catalog()
+
+
+@pytest.fixture(scope="session")
+def major_goal():
+    return brandeis_major_goal()
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    """The paper's student constraints: at most 3 courses per semester."""
+    return ExplorationConfig(max_courses_per_term=3)
+
+
+def report_rows(title: str, header: Sequence[str], rows: List[Sequence[object]]) -> None:
+    """Print a paper-style table under the benchmark output."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

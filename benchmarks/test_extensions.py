@@ -1,0 +1,202 @@
+"""Benchmarks for the reproduction's §6-future-work extensions.
+
+Not paper tables — these quantify the extension claims DESIGN.md makes:
+
+1. **Constraint push-down**: enforcing a per-term filter *during*
+   generation vs. generating everything and filtering afterwards.  The
+   paper's §6 suggests output filters "could reduce the size of the
+   output paths"; push-down also reduces the *work*.
+2. **Student archetypes**: graduation rates per behaviour policy on the
+   paper's 6-semester horizon — how much a requirements-seeking strategy
+   (i.e. advising) matters.
+3. **Goal-type overhead**: the flow-backed DegreeGoal vs. the
+   counting-based TagCountGoal on identical workloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import filter_paths
+from repro.analysis.filters import MaxTotalWorkload
+from repro.core import (
+    ExplorationConfig,
+    MaxWorkloadPerTerm,
+    frontier_count_goal_paths,
+    generate_goal_driven,
+)
+from repro.data import (
+    HeaviestLoadPolicy,
+    LightLoadPolicy,
+    RequirementsSeekingPolicy,
+    UniformRandomPolicy,
+    brandeis_major_goal,
+    simulate_transcripts,
+    start_term_for_semesters,
+)
+from repro.data.brandeis import ELECTIVE_COURSE_IDS, EVALUATION_END_TERM
+from repro.errors import ExplorationError
+from repro.requirements import TagCountGoal
+
+from .conftest import report_rows
+
+_SEMESTERS = 4
+_CAP_HOURS = 34.0
+
+
+class TestConstraintPushdown:
+    @pytest.fixture(scope="class")
+    def pushdown_results(self, catalog, major_goal):
+        start = start_term_for_semesters(_SEMESTERS)
+        constraint = MaxWorkloadPerTerm(catalog, _CAP_HOURS)
+
+        began = time.perf_counter()
+        pushed = generate_goal_driven(
+            catalog, start, major_goal, EVALUATION_END_TERM,
+            config=ExplorationConfig(constraints=(constraint,)),
+        )
+        pushed_seconds = time.perf_counter() - began
+
+        began = time.perf_counter()
+        unconstrained = generate_goal_driven(
+            catalog, start, major_goal, EVALUATION_END_TERM
+        )
+        survivors = [
+            path
+            for path in unconstrained.paths()
+            if all(
+                sum(catalog[c].workload_hours for c in sel) <= _CAP_HOURS
+                for _term, sel in path
+            )
+        ]
+        post_seconds = time.perf_counter() - began
+        return pushed, pushed_seconds, unconstrained, survivors, post_seconds
+
+    def test_report(self, pushdown_results, catalog):
+        pushed, pushed_seconds, unconstrained, survivors, post_seconds = pushdown_results
+        report_rows(
+            f"Extension — per-term workload cap ({_CAP_HOURS:g}h): "
+            f"push-down vs. post-filter ({_SEMESTERS} semesters)",
+            ("strategy", "runtime", "paths out", "nodes built"),
+            [
+                (
+                    "constraint push-down",
+                    f"{pushed_seconds:.2f}s",
+                    f"{pushed.path_count:,}",
+                    f"{pushed.graph.num_nodes:,}",
+                ),
+                (
+                    "generate + post-filter",
+                    f"{post_seconds:.2f}s",
+                    f"{len(survivors):,}",
+                    f"{unconstrained.graph.num_nodes:,}",
+                ),
+            ],
+        )
+
+    def test_same_surviving_paths(self, pushdown_results):
+        pushed, _pt, _unconstrained, survivors, _st = pushdown_results
+        assert {p.selections for p in pushed.paths()} == {
+            p.selections for p in survivors
+        }
+
+    def test_pushdown_builds_fewer_nodes(self, pushdown_results):
+        pushed, _pt, unconstrained, _survivors, _st = pushdown_results
+        assert pushed.graph.num_nodes < unconstrained.graph.num_nodes
+
+    def test_whole_path_filter_composes(self, pushdown_results, catalog):
+        pushed, _pt, _u, _s, _st = pushdown_results
+        light = list(
+            filter_paths(pushed.paths(), MaxTotalWorkload(catalog, 132.0))
+        )
+        assert 0 < len(light) <= pushed.path_count
+
+
+class TestStudentArchetypes:
+    @pytest.fixture(scope="class")
+    def archetype_rates(self, catalog, major_goal, paper_config):
+        start = start_term_for_semesters(6)  # the §5.2 horizon
+        rates = {}
+        for policy in (
+            RequirementsSeekingPolicy(),
+            HeaviestLoadPolicy(),
+            UniformRandomPolicy(),
+            LightLoadPolicy(),
+        ):
+            try:
+                body = simulate_transcripts(
+                    catalog, major_goal, start, EVALUATION_END_TERM,
+                    count=40, seed=13, config=paper_config,
+                    policy=policy, max_attempts=4000,
+                )
+                rates[policy.name] = body.success_rate
+            except ExplorationError:
+                rates[policy.name] = 0.0
+        return rates
+
+    def test_report(self, archetype_rates):
+        report_rows(
+            "Extension — on-time graduation rate by student archetype "
+            "(6-semester horizon, CS major)",
+            ("policy", "graduation rate"),
+            [(name, f"{rate:.0%}") for name, rate in archetype_rates.items()],
+        )
+
+    def test_guidance_beats_randomness(self, archetype_rates):
+        assert (
+            archetype_rates["requirements-seeking"]
+            > archetype_rates["uniform-random"]
+        )
+
+    def test_light_load_cannot_finish_on_time(self, archetype_rates):
+        # 12 required courses in 6 semesters at <= 2 courses/term is only
+        # possible with a perfect run; random light-load students miss it.
+        assert archetype_rates["light-load"] < archetype_rates["heaviest-load"]
+
+
+class TestGoalTypeOverhead:
+    def test_report_and_shape(self, catalog, paper_config):
+        start = start_term_for_semesters(_SEMESTERS)
+        flow_goal = brandeis_major_goal()
+        # "any 8 electives" — a feasible counting-only goal of similar size
+        tag_goal = TagCountGoal("elective", ELECTIVE_COURSE_IDS, 8)
+
+        rows = []
+        for label, goal in (("DegreeGoal (max-flow)", flow_goal),
+                            ("TagCountGoal (counting)", tag_goal)):
+            result = frontier_count_goal_paths(
+                catalog, start, goal, EVALUATION_END_TERM, config=paper_config
+            )
+            rows.append(
+                (
+                    label,
+                    f"{result.elapsed_seconds:.2f}s",
+                    f"{result.path_count:,}",
+                    f"{result.total_states:,}",
+                )
+            )
+        report_rows(
+            "Extension — goal-evaluation overhead (same horizon)",
+            ("goal type", "runtime", "goal paths", "states"),
+            rows,
+        )
+        assert int(rows[0][2].replace(",", "")) > 0
+        assert int(rows[1][2].replace(",", "")) > 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_constrained_goal_driven(benchmark, catalog, major_goal):
+    start = start_term_for_semesters(_SEMESTERS)
+    config = ExplorationConfig(
+        constraints=(MaxWorkloadPerTerm(catalog, _CAP_HOURS),)
+    )
+
+    def run():
+        return generate_goal_driven(
+            catalog, start, major_goal, EVALUATION_END_TERM, config=config
+        ).path_count
+
+    count = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert count > 0

@@ -1,0 +1,131 @@
+"""Figure 4 — runtime of ranked (top-k) learning-path generation.
+
+Paper (Fig. 4): generating the top-k shortest (time-ranked) paths to the
+CS major for k ∈ {10, 100, 500, 1000} over 6/7/8-semester horizons takes
+at most ~25 seconds — interactive even where full enumeration is hopeless
+(Table 2's 4×10⁷ paths at the same horizons).
+
+This benchmark regenerates the full k × horizon grid and asserts the
+figure's two claims: runtime grows with k, and even the largest point
+stays interactive.  (Engineering note: pure best-first with unit edge
+costs degenerates to breadth-first sweeping in Python; the search adds an
+admissible ``left_i/m`` completion bound — same top-k set and order,
+documented in DESIGN.md §5.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import TimeRanking, generate_ranked
+from repro.data import start_term_for_semesters
+from repro.data.brandeis import EVALUATION_END_TERM
+
+from .conftest import report_rows
+
+#: The paper's rough ceiling for the largest grid point (seconds).
+_PAPER_CEILING = 25.0
+#: Our ceiling — generous for slow CI machines, still "interactive".
+_OUR_CEILING = 60.0
+
+
+@pytest.fixture(scope="module")
+def figure4_grid(catalog, major_goal, paper_config, scale):
+    """Measure every (semesters, k) point once."""
+    grid = {}
+    for semesters in scale.figure4_semesters:
+        start = start_term_for_semesters(semesters)
+        for k in scale.figure4_ks:
+            began = time.perf_counter()
+            result = generate_ranked(
+                catalog,
+                start,
+                major_goal,
+                EVALUATION_END_TERM,
+                k,
+                TimeRanking(),
+                config=paper_config,
+            )
+            grid[(semesters, k)] = (time.perf_counter() - began, len(result.paths), result)
+    return grid
+
+
+def test_report_figure4(figure4_grid, scale):
+    rows = []
+    for semesters in scale.figure4_semesters:
+        row = [semesters]
+        for k in scale.figure4_ks:
+            seconds, got, _result = figure4_grid[(semesters, k)]
+            row.append(f"{seconds:.2f}s ({got})")
+        rows.append(tuple(row))
+    report_rows(
+        f"Figure 4 — ranked top-k runtime, time ranking [{scale.name} scale] "
+        f"(paper: all points <= ~25 s)",
+        tuple(["sem"] + [f"k={k}" for k in scale.figure4_ks]),
+        rows,
+    )
+
+
+def test_all_points_interactive(figure4_grid):
+    """The figure's headline: even 1,000 paths over 8 semesters stays
+    interactive."""
+    for (_semesters, _k), (seconds, _got, _result) in figure4_grid.items():
+        assert seconds < _OUR_CEILING
+
+
+def test_requested_k_delivered(figure4_grid):
+    """These horizons admit astronomically many goal paths, so every
+    requested k is reachable."""
+    for (_semesters, k), (_seconds, got, _result) in figure4_grid.items():
+        assert got == k
+
+
+def test_costs_sorted_and_start_at_minimum(figure4_grid, scale):
+    for (semesters, _k), (_seconds, _got, result) in figure4_grid.items():
+        assert result.costs == sorted(result.costs)
+        # A 12-course major with m=3 needs at least 4 semesters.
+        assert result.costs[0] >= 4.0
+        assert result.costs[-1] <= semesters
+
+
+def test_runtime_grows_with_k(figure4_grid, scale):
+    """The figure's visible trend: more output paths, more time."""
+    for semesters in scale.figure4_semesters:
+        smallest = figure4_grid[(semesters, min(scale.figure4_ks))][0]
+        largest = figure4_grid[(semesters, max(scale.figure4_ks))][0]
+        assert largest >= smallest
+
+
+@pytest.mark.benchmark(group="figure4")
+@pytest.mark.parametrize("k", [10, 100, 1000])
+def test_bench_ranked_6_semesters(benchmark, catalog, major_goal, paper_config, k):
+    start = start_term_for_semesters(6)
+
+    def run():
+        return len(
+            generate_ranked(
+                catalog, start, major_goal, EVALUATION_END_TERM, k,
+                TimeRanking(), config=paper_config,
+            ).paths
+        )
+
+    got = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert got == k
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bench_ranked_8_semesters_k1000(benchmark, catalog, major_goal, paper_config):
+    start = start_term_for_semesters(8)
+
+    def run():
+        return len(
+            generate_ranked(
+                catalog, start, major_goal, EVALUATION_END_TERM, 1000,
+                TimeRanking(), config=paper_config,
+            ).paths
+        )
+
+    got = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert got == 1000

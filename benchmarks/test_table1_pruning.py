@@ -1,0 +1,145 @@
+"""Table 1 — goal-driven path generation with and without pruning.
+
+Paper (Table 1, plus the §5.2 "Effectiveness of Pruning Strategies" text):
+
+    semesters | Pruning  #paths / runtime | No Pruning  #paths / runtime
+    4         |   1,979 /  1.011 s        |  525,583 /  7.43 s
+    5         |   3,791 /  1.295 s        |  760,677 / 74.03 s
+
+    "more than 99% of the paths which cannot lead to a goal are pruned
+    early … the runtime improves more than 91% in average.  Among the
+    pruned paths, 82% … time-based … 18% … course-availability."
+
+This benchmark regenerates the same rows on the synthetic catalog:
+"# of paths" is the number of tree leaves the algorithm reaches (goal +
+deadline + dead-end leaves; pruned subtrees excluded), measured exactly by
+the frontier DP without materializing the tree, and the timing compares
+the pruned vs. unpruned runs.  The pruned-path share per strategy is
+reported alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import frontier_count_goal_paths
+from repro.data import start_term_for_semesters
+from repro.data.brandeis import EVALUATION_END_TERM
+
+from .conftest import report_rows
+
+_PAPER_ROWS = {
+    4: (1_979, 1.011, 525_583, 7.43),
+    5: (3_791, 1.295, 760_677, 74.03),
+}
+
+
+@pytest.fixture(scope="module")
+def table1_results(catalog, major_goal, paper_config, scale):
+    """Run both variants for every configured horizon once."""
+    results = {}
+    for semesters in scale.table1_semesters:
+        start = start_term_for_semesters(semesters)
+        pruned = frontier_count_goal_paths(
+            catalog, start, major_goal, EVALUATION_END_TERM, config=paper_config
+        )
+        unpruned = frontier_count_goal_paths(
+            catalog, start, major_goal, EVALUATION_END_TERM,
+            config=paper_config, pruners=[],
+        )
+        results[semesters] = (pruned, unpruned)
+    return results
+
+
+def test_report_table1(table1_results, scale):
+    rows = []
+    for semesters, (pruned, unpruned) in sorted(table1_results.items()):
+        paper = _PAPER_ROWS.get(semesters)
+        rows.append(
+            (
+                semesters,
+                f"{pruned.explored_path_count:,}",
+                f"{pruned.elapsed_seconds:.3f}s",
+                f"{unpruned.explored_path_count:,}",
+                f"{unpruned.elapsed_seconds:.3f}s",
+                f"{paper[0]:,} / {paper[2]:,}" if paper else "-",
+            )
+        )
+    report_rows(
+        f"Table 1 — goal-driven generation with vs. without pruning "
+        f"[{scale.name} scale]",
+        ("sem", "pruned #paths", "pruned t", "no-prune #paths", "no-prune t", "paper (#p/#np)"),
+        rows,
+    )
+    # Shares per strategy (§5.2: 82% time / 18% availability).
+    share_rows = []
+    for semesters, (pruned, _unpruned) in sorted(table1_results.items()):
+        stats = pruned.pruning_stats
+        share_rows.append(
+            (
+                semesters,
+                f"{stats.share('time'):.0%}",
+                f"{stats.share('availability'):.0%}",
+                "82% / 18%",
+            )
+        )
+    report_rows(
+        "§5.2 pruning split (time-based vs. course-availability)",
+        ("sem", "time", "availability", "paper"),
+        share_rows,
+    )
+
+
+def test_pruning_cuts_over_99_percent_of_paths(table1_results):
+    """The paper's headline: >99% of not-goal-leading paths pruned early."""
+    for _semesters, (pruned, unpruned) in table1_results.items():
+        assert pruned.path_count == unpruned.path_count  # soundness
+        waste_without = unpruned.explored_path_count - unpruned.path_count
+        waste_with = pruned.explored_path_count - pruned.path_count
+        assert waste_without > 0
+        assert waste_with / waste_without < 0.01
+
+
+def test_pruning_improves_runtime(table1_results):
+    """Paper: runtime improves by more than 91% on average."""
+    improvements = []
+    for _semesters, (pruned, unpruned) in table1_results.items():
+        improvements.append(1 - pruned.elapsed_seconds / unpruned.elapsed_seconds)
+    assert sum(improvements) / len(improvements) > 0.80
+
+
+def test_time_strategy_dominates_split(table1_results):
+    """Paper: 82% of pruned subtrees cut by the time-based strategy."""
+    for _semesters, (pruned, _unpruned) in table1_results.items():
+        stats = pruned.pruning_stats
+        assert stats.share("time") > stats.share("availability")
+        assert stats.share("time") > 0.6
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_goal_driven_with_pruning(benchmark, catalog, major_goal, paper_config, scale):
+    semesters = scale.table1_semesters[0]
+    start = start_term_for_semesters(semesters)
+
+    def run():
+        return frontier_count_goal_paths(
+            catalog, start, major_goal, EVALUATION_END_TERM, config=paper_config
+        ).path_count
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert count > 0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_goal_driven_without_pruning(benchmark, catalog, major_goal, paper_config, scale):
+    semesters = scale.table1_semesters[0]
+    start = start_term_for_semesters(semesters)
+
+    def run():
+        return frontier_count_goal_paths(
+            catalog, start, major_goal, EVALUATION_END_TERM,
+            config=paper_config, pruners=[],
+        ).path_count
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count > 0

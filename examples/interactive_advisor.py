@@ -1,0 +1,98 @@
+"""Interactive advising session — the paper's introduction as a program.
+
+Run with::
+
+    python examples/interactive_advisor.py
+
+The paper opens with the questions students actually ask: *"which course
+selections increase my future course options and number of possible paths
+to a CS major?"*.  This example drives a :class:`PlanningSession` the way
+an advising tool would:
+
+* each semester, preview every legal selection and report how many routes
+  to the major each one keeps alive,
+* commit to the most door-keeping choice under real-life constraints
+  (a 36-hour weekly workload cap, never pairing the two heaviest
+  theory courses),
+* audit progress after every term, and
+* when the goal comes within reach, hand over to the ranked generator
+  for the endgame.
+"""
+
+from repro import CourseNavigator, ExplorationConfig, Term
+from repro.core import ForbiddenCombination, MaxWorkloadPerTerm
+from repro.data import brandeis_catalog, brandeis_major_goal
+from repro.system import PlanningSession
+from repro.system.visualizer import render_path
+
+
+def main() -> None:
+    catalog = brandeis_catalog()
+    navigator = CourseNavigator(catalog)
+    config = ExplorationConfig(
+        constraints=(
+            MaxWorkloadPerTerm(catalog, 36.0),
+            ForbiddenCombination({"COSI 30a", "COSI 101a"}),
+        ),
+    )
+    session = PlanningSession(
+        navigator,
+        brandeis_major_goal(),
+        start_term=Term(2013, "Fall"),
+        deadline=Term(2015, "Fall"),
+        config=config,
+    )
+
+    print("constraints in force:")
+    for constraint in config.constraints:
+        print(f"  - {constraint.describe()}")
+
+    term_number = 0
+    while not session.goal_satisfied() and session.semesters_left > 0:
+        term_number += 1
+        print()
+        print("=" * 72)
+        print(f"Semester {term_number}: {session.term}  "
+              f"({session.semesters_left} terms to the deadline)")
+        print("=" * 72)
+        print(f"options: {', '.join(sorted(session.options())) or '(none)'}")
+
+        previews = session.preview_all()
+        print("\ntop selections by routes kept open:")
+        for preview in previews[:4]:
+            print(f"  {preview.describe()}")
+
+        choice = previews[0]
+        if choice.goal_satisfied or (
+            len(previews) > 1 and choice.routes_remaining == 0
+        ):
+            choice = previews[0]
+        print(f"\nadvisor picks: {', '.join(sorted(choice.selection)) or '(skip)'}")
+        session.take(*choice.selection)
+        audit = session.audit()
+        print(audit.describe())
+
+        if not session.goal_satisfied() and session.routes_remaining() <= 50:
+            print("\nfew routes left — switching to the ranked endgame:")
+            plan = session.best_plans(k=1, ranking="workload")
+            cost, path = plan.ranked()[0]
+            print(render_path(path, catalog=catalog, indent="  "))
+            for _term, selection in path:
+                session.take(*selection)
+            break
+
+    print()
+    print("=" * 72)
+    if session.goal_satisfied():
+        print(f"Major complete at {session.term}!  The transcript:")
+        print(render_path(session.path_so_far(), catalog=catalog, indent="  "))
+        ok, reason = navigator.check_transcript(
+            session.path_so_far(), session.goal, session.deadline, config=config
+        )
+        print(f"\ncontainment self-check: {'contained' if ok else reason}")
+    else:
+        print("Deadline reached without completing the major.")
+
+
+if __name__ == "__main__":
+    main()

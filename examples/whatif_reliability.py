@@ -1,0 +1,128 @@
+"""What-if planning under schedule uncertainty (reliability ranking).
+
+Run with::
+
+    python examples/whatif_reliability.py
+
+Universities publish final class schedules only one or two semesters
+ahead (§4.3.1).  Planning further out means betting on offerings that are
+only *probably* there — a yearly course is a safe bet, an
+alternate-years seminar is a coin flip.  This example:
+
+1. builds the historical offering model (released schedule certain
+   through Spring '12; historical frequencies beyond);
+2. projects a probabilistic schedule for the following three years;
+3. generates the fastest plans and the most *reliable* plans to the
+   major, and compares what the speed-optimal plan risks.
+"""
+
+from repro import CourseNavigator, ExplorationConfig, Term
+from repro.core import ReliabilityRanking, TimeRanking, generate_ranked
+from repro.data import brandeis_catalog, brandeis_major_goal, brandeis_offering_model
+from repro.system import render_path
+
+
+def main() -> None:
+    catalog = brandeis_catalog()
+    goal = brandeis_major_goal()
+    # It is Fall 2013; the registrar has released schedules through
+    # Spring 2014.  Fall 2014 onward is a bet on history.
+    release_horizon = Term(2014, "Spring")
+    model = brandeis_offering_model(release_horizon_end=release_horizon)
+
+    start = Term(2013, "Fall")
+    graduation = Term(2015, "Fall")
+
+    # Plan over the *projected* schedule: every term where the offering
+    # probability is positive is a candidate slot; reliability ranking
+    # discounts the uncertain ones.
+    projected = model.projected_schedule(
+        catalog.course_ids(), start, graduation, threshold=0.0
+    )
+    config = ExplorationConfig(schedule=projected)
+
+    print("=" * 72)
+    print(f"Schedule certainty ends at {release_horizon}; beyond that we "
+          f"plan on historical odds")
+    print("=" * 72)
+    for course_id in ("COSI 29a", "COSI 45b", "COSI 104a"):
+        probabilities = [
+            (term, model.probability(course_id, term))
+            for term in (Term(2013, "Fall"), Term(2014, "Spring"), Term(2014, "Fall"))
+        ]
+        rendered = ", ".join(f"{t.short}: {p:.2f}" for t, p in probabilities)
+        print(f"  {course_id:12} {rendered}")
+
+    print()
+    print("=" * 72)
+    print("Fastest plan (time ranking) — and how risky it is")
+    print("=" * 72)
+    fastest = generate_ranked(
+        catalog, start, goal, graduation, 1, TimeRanking(), config=config
+    )
+    cost, path = fastest.ranked()[0]
+    print(f"{int(cost)} semesters; probability every planned offering "
+          f"materializes: {path.reliability(model):.3f}")
+    print(render_path(path, catalog=catalog, offering_model=model, indent="  "))
+
+    print()
+    print("=" * 72)
+    print("Most reliable plans (reliability ranking)")
+    print("=" * 72)
+    ranking = ReliabilityRanking(model)
+    reliable = generate_ranked(
+        catalog, start, goal, graduation, 3, ranking, config=config
+    )
+    for rank, (cost, path) in enumerate(reliable.ranked(), start=1):
+        print(f"\n#{rank} — reliability {ranking.score(cost):.3f}, "
+              f"{len(path)} semesters")
+        print(render_path(path, catalog=catalog, offering_model=model, indent="  "))
+
+    best_reliability = ranking.score(reliable.costs[0])
+    print()
+    print(f"Speed costs certainty: the fastest plan materializes with "
+          f"probability {path_reliability(fastest, model):.3f}, the safest "
+          f"with {best_reliability:.3f}.")
+
+    print()
+    print("=" * 72)
+    print("Risk report for the fastest plan (and a Monte Carlo check)")
+    print("=" * 72)
+    from repro.analysis import assess_plan, monte_carlo_survival, replan
+
+    fast_path = fastest.paths[0]
+    risk = assess_plan(fast_path, model)
+    print(risk.describe())
+    empirical = monte_carlo_survival(fast_path, model, trials=5000, seed=42)
+    print(f"Monte Carlo over 5,000 sampled schedules: {empirical:.3f} "
+          f"survival (analytic {risk.reliability:.3f})")
+
+    print()
+    print("=" * 72)
+    print("And if the weakest bet falls through?  Re-planning")
+    print("=" * 72)
+    weakest = risk.weakest(1)[0]
+    print(f"Suppose {weakest.course_id} is cancelled in {weakest.term}.")
+    result = replan(
+        catalog, goal, fast_path,
+        disrupted_term=weakest.term,
+        deadline=graduation,
+        dropped_courses={weakest.course_id},
+        config=config,
+    )
+    print(result.describe())
+    if result.recoverable:
+        print(render_path(result.repaired, catalog=catalog, indent="  "))
+    else:
+        print("(the weakest bet sits in the plan's final semester — with no "
+              "slack term left, a cancellation there is fatal; this is "
+              "exactly why the safest plan above front-loads its risk)")
+
+
+def path_reliability(result, model) -> float:
+    """Reliability of a ranked result's best path."""
+    return result.paths[0].reliability(model)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Analysis helpers: containment checking and path/graph statistics.
+
+These utilities back the §5.2 experiments — the transcript-containment
+comparison and the pruning-effectiveness accounting — and give front-ends
+summary views over generated path sets.
+"""
+
+from .compare import PathDiff, cost_comparison, diff_paths
+from .containment import ContainmentReport, check_containment, is_generated_goal_path
+from .filters import (
+    AllFilters,
+    AnyFilter,
+    BalancedTerms,
+    CompletesBy,
+    MaxLength,
+    MaxTotalWorkload,
+    MinReliability,
+    PathFilter,
+    TakesCourse,
+    filter_paths,
+)
+from .metrics import GraphShape, TermBranching, branching_profile, graph_shape
+from .repair import RepairResult, replan
+from .robustness import PlanRisk, StepRisk, assess_plan, monte_carlo_survival
+from .statistics import PathSetSummary, summarize_paths
+
+__all__ = [
+    "is_generated_goal_path",
+    "check_containment",
+    "ContainmentReport",
+    "PathSetSummary",
+    "summarize_paths",
+    "TermBranching",
+    "branching_profile",
+    "GraphShape",
+    "graph_shape",
+    "PathFilter",
+    "MaxTotalWorkload",
+    "MaxLength",
+    "CompletesBy",
+    "TakesCourse",
+    "MinReliability",
+    "BalancedTerms",
+    "AllFilters",
+    "AnyFilter",
+    "filter_paths",
+    "PathDiff",
+    "diff_paths",
+    "cost_comparison",
+    "PlanRisk",
+    "StepRisk",
+    "assess_plan",
+    "monte_carlo_survival",
+    "RepairResult",
+    "replan",
+]

@@ -1,0 +1,116 @@
+"""Plan comparison — where two learning paths agree and diverge.
+
+Advising conversations are comparative: "plan A and plan B are identical
+until Spring '14, then A takes the ML track while B takes systems".
+:func:`diff_paths` computes that structure, and :func:`cost_comparison`
+prices both plans under every supplied ranking so the trade-off is
+explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.ranking import RankingFunction
+from ..graph.path import LearningPath
+from ..semester import Term
+
+__all__ = ["PathDiff", "diff_paths", "cost_comparison"]
+
+
+@dataclass(frozen=True)
+class PathDiff:
+    """Structured difference between two plans."""
+
+    shared_prefix: Tuple[Tuple[Term, FrozenSet[str]], ...]
+    divergence_term: Optional[Term]
+    only_in_first: FrozenSet[str]
+    only_in_second: FrozenSet[str]
+    per_term_changes: Tuple[Tuple[Term, FrozenSet[str], FrozenSet[str]], ...]
+
+    @property
+    def identical(self) -> bool:
+        """Whether the two plans make the same selections throughout."""
+        return self.divergence_term is None and not (
+            self.only_in_first or self.only_in_second
+        )
+
+    def describe(self) -> str:
+        """A short human-readable summary."""
+        if self.identical:
+            return "plans are identical"
+        lines = []
+        if self.divergence_term is not None:
+            lines.append(
+                f"identical for {len(self.shared_prefix)} semesters, "
+                f"diverging at {self.divergence_term}"
+            )
+        if self.only_in_first:
+            lines.append(f"only plan A: {', '.join(sorted(self.only_in_first))}")
+        if self.only_in_second:
+            lines.append(f"only plan B: {', '.join(sorted(self.only_in_second))}")
+        return "; ".join(lines)
+
+
+def diff_paths(first: LearningPath, second: LearningPath) -> PathDiff:
+    """Compare two plans that start from the same enrollment status.
+
+    Raises :class:`ValueError` when the start statuses differ — comparing
+    plans of different students is a category error the caller should
+    surface, not silently compute.
+    """
+    if first.start != second.start:
+        raise ValueError(
+            f"plans start from different statuses "
+            f"({first.start.term} vs {second.start.term})"
+        )
+    steps_a = list(first)
+    steps_b = list(second)
+
+    shared: List[Tuple[Term, FrozenSet[str]]] = []
+    divergence: Optional[Term] = None
+    for (term_a, sel_a), (_term_b, sel_b) in zip(steps_a, steps_b):
+        if sel_a == sel_b:
+            shared.append((term_a, sel_a))
+        else:
+            divergence = term_a
+            break
+    else:
+        if len(steps_a) != len(steps_b):
+            longer = steps_a if len(steps_a) > len(steps_b) else steps_b
+            divergence = longer[min(len(steps_a), len(steps_b))][0]
+
+    courses_a = first.courses_taken()
+    courses_b = second.courses_taken()
+
+    changes: List[Tuple[Term, FrozenSet[str], FrozenSet[str]]] = []
+    by_term_a: Dict[Term, FrozenSet[str]] = dict(steps_a)
+    by_term_b: Dict[Term, FrozenSet[str]] = dict(steps_b)
+    for term in sorted(set(by_term_a) | set(by_term_b)):
+        sel_a = by_term_a.get(term, frozenset())
+        sel_b = by_term_b.get(term, frozenset())
+        if sel_a != sel_b:
+            changes.append((term, sel_a, sel_b))
+
+    return PathDiff(
+        shared_prefix=tuple(shared),
+        divergence_term=divergence,
+        only_in_first=courses_a - courses_b,
+        only_in_second=courses_b - courses_a,
+        per_term_changes=tuple(changes),
+    )
+
+
+def cost_comparison(
+    paths: Sequence[LearningPath], rankings: Sequence[RankingFunction]
+) -> List[Dict[str, float]]:
+    """Price every path under every ranking.
+
+    Returns one dict per path: ``{ranking name: cost}`` — the table a
+    front-end renders as "plan A: 4 semesters / 130 h; plan B: 5 / 118 h".
+    """
+    table: List[Dict[str, float]] = []
+    for path in paths:
+        table.append({ranking.name: ranking.path_cost(path) for ranking in rankings})
+    return table

@@ -1,0 +1,208 @@
+"""Whole-path filters for generated learning paths (paper §6 future work).
+
+Complements :mod:`repro.core.constraints`: constraints judge one
+semester's selection and are enforced *during* generation; the filters
+here judge a **complete path** (total workload, completion order,
+reliability floors …) and run over any path iterable afterwards.
+
+Filters compose with :class:`AllFilters` / :class:`AnyFilter` and apply
+lazily via :func:`filter_paths`, so they work over the streaming output
+of a large generation without materializing it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..graph.path import LearningPath
+from ..semester import Term
+
+if TYPE_CHECKING:
+    from ..catalog import Catalog, OfferingModel
+
+__all__ = [
+    "PathFilter",
+    "MaxTotalWorkload",
+    "MaxLength",
+    "CompletesBy",
+    "TakesCourse",
+    "MinReliability",
+    "BalancedTerms",
+    "AllFilters",
+    "AnyFilter",
+    "filter_paths",
+]
+
+
+class PathFilter:
+    """Abstract predicate over complete learning paths."""
+
+    #: Short identifier for reports.
+    name: str = "filter"
+
+    def accepts(self, path: LearningPath) -> bool:
+        """Whether the path passes the filter."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class MaxTotalWorkload(PathFilter):
+    """Total workload over the whole path at most ``max_hours``
+    (the paper's "paths whose workload does not exceed a given
+    threshold", §4.3.1)."""
+
+    name = "max-total-workload"
+
+    def __init__(self, catalog: "Catalog", max_hours: float):
+        self._catalog = catalog
+        self._max_hours = max_hours
+
+    def accepts(self, path: LearningPath) -> bool:
+        return path.workload_cost(self._catalog) <= self._max_hours
+
+    def describe(self) -> str:
+        return f"total workload <= {self._max_hours:g} hours"
+
+
+class MaxLength(PathFilter):
+    """At most ``max_semesters`` transitions."""
+
+    name = "max-length"
+
+    def __init__(self, max_semesters: int):
+        self._max_semesters = max_semesters
+
+    def accepts(self, path: LearningPath) -> bool:
+        return len(path) <= self._max_semesters
+
+    def describe(self) -> str:
+        return f"at most {self._max_semesters} semesters"
+
+
+class CompletesBy(PathFilter):
+    """Course ``course_id`` completed no later than the status at ``term``
+    (e.g. "I want the intro sequence done before junior year")."""
+
+    name = "completes-by"
+
+    def __init__(self, course_id: str, term: Term):
+        self._course = course_id
+        self._term = term
+
+    def accepts(self, path: LearningPath) -> bool:
+        for status in path.statuses:
+            if status.term > self._term:
+                break
+            if self._course in status.completed:
+                return True
+        return False
+
+    def describe(self) -> str:
+        return f"{self._course} completed by {self._term}"
+
+
+class TakesCourse(PathFilter):
+    """The path elects ``course_id`` somewhere (regardless of the goal)."""
+
+    name = "takes-course"
+
+    def __init__(self, course_id: str):
+        self._course = course_id
+
+    def accepts(self, path: LearningPath) -> bool:
+        return self._course in path.courses_taken()
+
+    def describe(self) -> str:
+        return f"takes {self._course}"
+
+
+class MinReliability(PathFilter):
+    """The plan's materialization probability is at least ``minimum``."""
+
+    name = "min-reliability"
+
+    def __init__(self, model: "OfferingModel", minimum: float):
+        if not 0.0 <= minimum <= 1.0:
+            raise ValueError(f"minimum must be in [0, 1], got {minimum}")
+        self._model = model
+        self._minimum = minimum
+
+    def accepts(self, path: LearningPath) -> bool:
+        return path.reliability(self._model) >= self._minimum
+
+    def describe(self) -> str:
+        return f"reliability >= {self._minimum:g}"
+
+
+class BalancedTerms(PathFilter):
+    """No semester's workload exceeds the path's average by more than
+    ``tolerance_hours`` — rejects plans that cram everything into one
+    brutal term."""
+
+    name = "balanced-terms"
+
+    def __init__(self, catalog: "Catalog", tolerance_hours: float):
+        if tolerance_hours < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance_hours}")
+        self._catalog = catalog
+        self._tolerance = tolerance_hours
+
+    def accepts(self, path: LearningPath) -> bool:
+        if len(path) == 0:
+            return True
+        loads = [
+            sum(self._catalog[c].workload_hours for c in selection)
+            for _term, selection in path
+        ]
+        average = sum(loads) / len(loads)
+        return all(load <= average + self._tolerance for load in loads)
+
+    def describe(self) -> str:
+        return f"no semester more than {self._tolerance:g}h above the path average"
+
+
+class AllFilters(PathFilter):
+    """Conjunction: the path must pass every child filter."""
+
+    name = "all-of"
+
+    def __init__(self, filters: Sequence[PathFilter]):
+        self._filters = tuple(filters)
+
+    def accepts(self, path: LearningPath) -> bool:
+        return all(f.accepts(path) for f in self._filters)
+
+    def describe(self) -> str:
+        return " and ".join(f.describe() for f in self._filters) or "accept all"
+
+
+class AnyFilter(PathFilter):
+    """Disjunction: the path must pass at least one child filter."""
+
+    name = "any-of"
+
+    def __init__(self, filters: Sequence[PathFilter]):
+        if not filters:
+            raise ValueError("AnyFilter needs at least one filter")
+        self._filters = tuple(filters)
+
+    def accepts(self, path: LearningPath) -> bool:
+        return any(f.accepts(path) for f in self._filters)
+
+    def describe(self) -> str:
+        return " or ".join(f.describe() for f in self._filters)
+
+
+def filter_paths(
+    paths: Iterable[LearningPath], *filters: PathFilter
+) -> Iterator[LearningPath]:
+    """Lazily yield the paths that pass every filter."""
+    for path in paths:
+        if all(f.accepts(path) for f in filters):
+            yield path

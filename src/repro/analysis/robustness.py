@@ -1,0 +1,112 @@
+"""Plan robustness under schedule uncertainty.
+
+Reliability ranking (§4.3.1) scores a plan by the product of its
+offering probabilities.  This module turns that single number into an
+actionable risk view:
+
+* :func:`assess_plan` — per-step probabilities, the plan's weakest links
+  (the specific course-term bets most likely to fall through), and the
+  analytic reliability;
+* :func:`monte_carlo_survival` — an empirical check: sample concrete
+  schedules from the offering model (each course-term offered
+  independently with its modelled probability) and measure how often the
+  plan survives intact.  With independent offerings this estimates
+  exactly the analytic product, which the test suite verifies within
+  sampling tolerance — a useful cross-validation of both the model and
+  the ranking's cost algebra.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..catalog import OfferingModel
+from ..graph.path import LearningPath
+from ..semester import Term
+
+__all__ = ["StepRisk", "PlanRisk", "assess_plan", "monte_carlo_survival"]
+
+
+@dataclass(frozen=True)
+class StepRisk:
+    """One course-term bet inside a plan."""
+
+    term: Term
+    course_id: str
+    probability: float
+
+    def describe(self) -> str:
+        return f"{self.course_id} in {self.term}: offered with p={self.probability:.2f}"
+
+
+@dataclass(frozen=True)
+class PlanRisk:
+    """Risk profile of one plan."""
+
+    reliability: float
+    steps: Tuple[StepRisk, ...]
+
+    def weakest(self, n: int = 3) -> List[StepRisk]:
+        """The ``n`` least certain course-term bets."""
+        return sorted(self.steps, key=lambda s: (s.probability, str(s.term)))[:n]
+
+    @property
+    def certain(self) -> bool:
+        """Whether every planned offering is guaranteed."""
+        return all(step.probability >= 1.0 for step in self.steps)
+
+    def describe(self) -> str:
+        lines = [f"plan reliability: {self.reliability:.3f}"]
+        if self.certain:
+            lines.append("  every planned offering is certain")
+        else:
+            lines.append("  weakest links:")
+            for step in self.weakest():
+                if step.probability < 1.0:
+                    lines.append(f"    - {step.describe()}")
+        return "\n".join(lines)
+
+
+def assess_plan(path: LearningPath, model: OfferingModel) -> PlanRisk:
+    """Per-step risk breakdown plus the analytic reliability."""
+    steps = []
+    for term, selection in path:
+        for course_id in sorted(selection):
+            steps.append(
+                StepRisk(
+                    term=term,
+                    course_id=course_id,
+                    probability=model.probability(course_id, term),
+                )
+            )
+    return PlanRisk(reliability=path.reliability(model), steps=tuple(steps))
+
+
+def monte_carlo_survival(
+    path: LearningPath,
+    model: OfferingModel,
+    trials: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Empirical survival rate of a plan over sampled schedules.
+
+    Each trial independently realizes every planned course-term offering
+    with its modelled probability; the plan survives a trial iff every
+    planned offering materialized.  Returns the survival fraction, an
+    unbiased estimator of :meth:`LearningPath.reliability`.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = random.Random(seed)
+    bets = [
+        (course_id, term, model.probability(course_id, term))
+        for term, selection in path
+        for course_id in sorted(selection)
+    ]
+    survived = 0
+    for _ in range(trials):
+        if all(rng.random() < p for _cid, _term, p in bets):
+            survived += 1
+    return survived / trials

@@ -1,0 +1,93 @@
+"""Summary statistics over generated path sets.
+
+Front-ends (and EXPERIMENTS.md) want aggregate views rather than millions
+of raw paths: how long are the paths, how heavy, how much do they overlap
+in the early semesters (the phenomenon the paper credits for pruning's
+effectiveness — "learning paths have high overlap in the first several
+semesters and only branch out after a certain academic period").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..catalog import Catalog
+from ..graph.path import LearningPath
+
+__all__ = ["PathSetSummary", "summarize_paths", "prefix_overlap_profile"]
+
+
+@dataclass
+class PathSetSummary:
+    """Aggregates over a collection of learning paths."""
+
+    count: int = 0
+    min_length: Optional[int] = None
+    max_length: Optional[int] = None
+    mean_length: float = 0.0
+    mean_courses: float = 0.0
+    min_workload: Optional[float] = None
+    max_workload: Optional[float] = None
+    mean_workload: float = 0.0
+    course_frequency: Dict[str, int] = field(default_factory=dict)
+
+    def most_common_courses(self, n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` most frequently elected courses across the set."""
+        ranked = sorted(self.course_frequency.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+
+def summarize_paths(
+    paths: Iterable[LearningPath], catalog: Optional[Catalog] = None
+) -> PathSetSummary:
+    """Aggregate a path collection (streaming; paths may be a generator).
+
+    Workload statistics are only computed when a ``catalog`` is supplied.
+    """
+    summary = PathSetSummary()
+    total_length = 0
+    total_courses = 0
+    total_workload = 0.0
+    for path in paths:
+        summary.count += 1
+        length = len(path)
+        total_length += length
+        summary.min_length = length if summary.min_length is None else min(summary.min_length, length)
+        summary.max_length = length if summary.max_length is None else max(summary.max_length, length)
+        taken = path.courses_taken()
+        total_courses += len(taken)
+        for course_id in taken:
+            summary.course_frequency[course_id] = summary.course_frequency.get(course_id, 0) + 1
+        if catalog is not None:
+            workload = path.workload_cost(catalog)
+            total_workload += workload
+            summary.min_workload = (
+                workload if summary.min_workload is None else min(summary.min_workload, workload)
+            )
+            summary.max_workload = (
+                workload if summary.max_workload is None else max(summary.max_workload, workload)
+            )
+    if summary.count:
+        summary.mean_length = total_length / summary.count
+        summary.mean_courses = total_courses / summary.count
+        if catalog is not None:
+            summary.mean_workload = total_workload / summary.count
+    return summary
+
+
+def prefix_overlap_profile(paths: List[LearningPath]) -> List[int]:
+    """Distinct selection-prefixes per depth across the path set.
+
+    ``result[i]`` is the number of distinct length-``i+1`` selection
+    prefixes.  A slowly growing profile early on quantifies the paper's
+    observation that paths overlap heavily in the first semesters.
+    """
+    if not paths:
+        return []
+    max_depth = max(len(path) for path in paths)
+    profile: List[int] = []
+    for depth in range(1, max_depth + 1):
+        prefixes = {path.selections[:depth] for path in paths if len(path) >= depth}
+        profile.append(len(prefixes))
+    return profile

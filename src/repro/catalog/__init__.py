@@ -1,0 +1,56 @@
+"""Course, prerequisite, schedule, and catalog models.
+
+This package is the registrar-facing substrate of the reproduction: it holds
+everything the paper's Section 2 defines about course information — the
+course set ``C``, per-course prerequisite conditions ``Q_i`` (boolean
+expressions over completed-course literals) and schedules ``S_i`` (sets of
+semesters the course is offered), plus the offering-probability model that
+Section 4.3.1's reliability ranking relies on.
+"""
+
+from .prereq import (
+    TRUE,
+    FALSE,
+    And,
+    CourseReq,
+    KOf,
+    Or,
+    PrereqExpr,
+    all_of,
+    any_of,
+    requires,
+)
+from .course import Course
+from .schedule import (
+    DeterministicOfferings,
+    HistoricalOfferingModel,
+    OfferingModel,
+    Schedule,
+)
+from .catalog import Catalog
+from .lint import LintIssue, earliest_completions, lint_catalog
+from .patterns import build_schedule, pattern_terms
+
+__all__ = [
+    "LintIssue",
+    "lint_catalog",
+    "earliest_completions",
+    "build_schedule",
+    "pattern_terms",
+    "PrereqExpr",
+    "TRUE",
+    "FALSE",
+    "CourseReq",
+    "And",
+    "Or",
+    "KOf",
+    "requires",
+    "all_of",
+    "any_of",
+    "Course",
+    "Schedule",
+    "OfferingModel",
+    "DeterministicOfferings",
+    "HistoricalOfferingModel",
+    "Catalog",
+]

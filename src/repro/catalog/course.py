@@ -1,0 +1,132 @@
+"""The :class:`Course` record.
+
+A course in the paper is ``(Q_i, S_i)`` — a prerequisite condition and a
+schedule.  The schedule lives on the :class:`~repro.catalog.catalog.Catalog`
+(it comes from a different registrar feed and changes every term); the
+course record carries everything intrinsic to the course: its prerequisite
+condition, title, workload (used by workload-based ranking, §4.3.1),
+credits, and free-form tags (used by degree requirements, e.g. ``core`` /
+``elective``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable
+
+from .prereq import PrereqExpr, TRUE, from_dict as prereq_from_dict
+
+__all__ = ["Course"]
+
+
+@dataclass(frozen=True)
+class Course:
+    """An immutable course record.
+
+    Parameters
+    ----------
+    course_id:
+        Registrar identifier, e.g. ``"COSI 11a"``.  Must be non-empty;
+        surrounding whitespace is stripped.
+    title:
+        Human-readable name.  Defaults to the id.
+    prereq:
+        The prerequisite condition ``Q_i``; defaults to :data:`TRUE`
+        (no prerequisites).
+    workload_hours:
+        Estimated weekly study hours ``w(c_i)`` — the quantity the paper's
+        workload-based ranking sums along a path.  Must be non-negative.
+    credits:
+        Credit hours; informational, and available to custom goals.
+    tags:
+        Free-form labels (``core``, ``elective``, ``systems`` …) that degree
+        goals and workload generators select on.
+    description:
+        Registrar catalog prose (optional).
+    """
+
+    course_id: str
+    title: str = ""
+    prereq: PrereqExpr = TRUE
+    workload_hours: float = 10.0
+    credits: int = 4
+    tags: FrozenSet[str] = field(default_factory=frozenset)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.course_id, str) or not self.course_id.strip():
+            raise ValueError(f"course id must be a non-empty string, got {self.course_id!r}")
+        object.__setattr__(self, "course_id", self.course_id.strip())
+        if not self.title:
+            object.__setattr__(self, "title", self.course_id)
+        if not isinstance(self.prereq, PrereqExpr):
+            raise TypeError(f"prereq must be a PrereqExpr, got {self.prereq!r}")
+        if self.workload_hours < 0:
+            raise ValueError(f"workload_hours must be >= 0, got {self.workload_hours!r}")
+        if self.credits < 0:
+            raise ValueError(f"credits must be >= 0, got {self.credits!r}")
+        if not isinstance(self.tags, frozenset):
+            object.__setattr__(self, "tags", frozenset(self.tags))
+        if self.course_id in self.prereq.courses():
+            raise ValueError(f"course {self.course_id!r} lists itself as a prerequisite")
+
+    # -- convenience -------------------------------------------------------
+
+    def has_tag(self, tag: str) -> bool:
+        """Whether this course carries ``tag``."""
+        return tag in self.tags
+
+    def prerequisite_courses(self) -> FrozenSet[str]:
+        """Every course id mentioned in the prerequisite condition."""
+        return self.prereq.courses()
+
+    def with_prereq(self, prereq: PrereqExpr) -> "Course":
+        """A copy of this course with a different prerequisite condition."""
+        return Course(
+            course_id=self.course_id,
+            title=self.title,
+            prereq=prereq,
+            workload_hours=self.workload_hours,
+            credits=self.credits,
+            tags=self.tags,
+            description=self.description,
+        )
+
+    def with_tags(self, tags: Iterable[str]) -> "Course":
+        """A copy of this course with ``tags`` replaced."""
+        return Course(
+            course_id=self.course_id,
+            title=self.title,
+            prereq=self.prereq,
+            workload_hours=self.workload_hours,
+            credits=self.credits,
+            tags=frozenset(tags),
+            description=self.description,
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation; inverse of :meth:`from_dict`."""
+        return {
+            "course_id": self.course_id,
+            "title": self.title,
+            "prereq": self.prereq.to_dict(),
+            "workload_hours": self.workload_hours,
+            "credits": self.credits,
+            "tags": sorted(self.tags),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Course":
+        """Rebuild a course from :meth:`to_dict` output."""
+        return cls(
+            course_id=data["course_id"],
+            title=data.get("title", ""),
+            prereq=prereq_from_dict(data.get("prereq", {"op": "true"})),
+            workload_hours=data.get("workload_hours", 10.0),
+            credits=data.get("credits", 4),
+            tags=frozenset(data.get("tags", ())),
+            description=data.get("description", ""),
+        )

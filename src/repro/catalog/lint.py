@@ -1,0 +1,167 @@
+"""Catalog linting — registrar-data sanity checks.
+
+Real registrar exports are messy: courses whose prerequisites reference
+retired courses, courses scheduled in no term, prerequisite chains that
+cannot possibly be completed inside the published schedule window.  All
+of these silently produce empty or misleading exploration results, so the
+linter surfaces them before any path generation runs.
+
+The core computation is :func:`earliest_completions` — an optimistic
+reachability fixpoint over the schedule: a course is *completable by*
+term ``t+1`` if it is offered in some term ``t`` at which its
+prerequisite condition can be satisfied using only courses completable by
+``t``.  (Optimistic: ignores the per-term cap ``m``, so "unreachable"
+findings are definite while "reachable" ones are necessary-not-sufficient
+— exactly the right polarity for a linter.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..semester import Term, term_range
+from .catalog import Catalog
+
+__all__ = ["LintIssue", "earliest_completions", "lint_catalog"]
+
+#: Issue severities, mildest first.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding about one course (or the catalog as a whole)."""
+
+    severity: str
+    code: str
+    course_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code} {self.course_id}: {self.message}"
+
+
+def earliest_completions(
+    catalog: Catalog, window: Optional[Tuple[Term, Term]] = None
+) -> Dict[str, Term]:
+    """Earliest status-term by which each course could be *completed*.
+
+    A course taken in term ``t`` is complete at the ``t+1`` status.  The
+    window defaults to the schedule's own span.  Courses absent from the
+    result cannot be completed inside the window at all (never offered,
+    unsatisfiable prerequisites, or prerequisite chains longer than the
+    window allows).
+    """
+    if window is None:
+        span = catalog.schedule.span()
+        if span is None:
+            return {}
+        window = span
+    first, last = window
+    completed_by: Dict[str, Term] = {}
+    for term in term_range(first, last):
+        available = frozenset(
+            cid for cid, done in completed_by.items() if done <= term
+        )
+        for course_id in catalog.schedule.offered_in(term):
+            if course_id in completed_by:
+                continue
+            if catalog[course_id].prereq.evaluate(available):
+                completed_by[course_id] = term + 1
+    return completed_by
+
+
+def lint_catalog(
+    catalog: Catalog, window: Optional[Tuple[Term, Term]] = None
+) -> List[LintIssue]:
+    """Run every check; returns issues sorted by severity (errors first).
+
+    Checks
+    ------
+    ``never-offered`` (error)
+        The course appears in no scheduled term.
+    ``unsatisfiable-prereq`` (error)
+        The prerequisite condition is logically unsatisfiable.
+    ``unreachable-in-window`` (error)
+        No sequence of terms inside the window completes the course, even
+        taking everything (deep chain vs. sparse offerings).
+    ``late-first-completion`` (warning)
+        The course is reachable, but only in the window's final term —
+        one schedule hiccup strands every plan through it.
+    ``unused-as-prerequisite`` (info)
+        A course referenced by no other course's condition and carrying
+        no tags; often a retired-course leftover.
+    """
+    issues: List[LintIssue] = []
+    span = window or catalog.schedule.span()
+
+    referenced = set()
+    for course_id in catalog:
+        referenced |= catalog[course_id].prereq.courses()
+
+    completions = earliest_completions(catalog, span) if span else {}
+    last_term = span[1] if span else None
+
+    for course_id in catalog:
+        course = catalog[course_id]
+        offerings = catalog.schedule.offerings(course_id)
+        if not offerings:
+            issues.append(
+                LintIssue(
+                    "error",
+                    "never-offered",
+                    course_id,
+                    "appears in no scheduled term",
+                )
+            )
+        if not course.prereq.is_satisfiable():
+            issues.append(
+                LintIssue(
+                    "error",
+                    "unsatisfiable-prereq",
+                    course_id,
+                    f"prerequisite {course.prereq.to_string()!r} can never hold",
+                )
+            )
+        elif offerings and span and course_id not in completions:
+            issues.append(
+                LintIssue(
+                    "error",
+                    "unreachable-in-window",
+                    course_id,
+                    f"cannot be completed between {span[0]} and {span[1]} "
+                    f"(prerequisite chain outruns the schedule)",
+                )
+            )
+        elif (
+            last_term is not None
+            and course_id in completions
+            and completions[course_id] > last_term
+        ):
+            issues.append(
+                LintIssue(
+                    "warning",
+                    "late-first-completion",
+                    course_id,
+                    f"first completable only at {completions[course_id]}, "
+                    f"after the window's final term",
+                )
+            )
+        if (
+            course_id not in referenced
+            and not course.tags
+            and offerings
+        ):
+            issues.append(
+                LintIssue(
+                    "info",
+                    "unused-as-prerequisite",
+                    course_id,
+                    "no course requires it and it carries no tags",
+                )
+            )
+
+    severity_rank = {name: i for i, name in enumerate(SEVERITIES)}
+    issues.sort(key=lambda issue: (-severity_rank[issue.severity], issue.course_id))
+    return issues

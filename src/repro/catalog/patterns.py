@@ -1,0 +1,78 @@
+"""Registrar schedule patterns — declarative offering rules.
+
+Registrars schedule courses by *rule*, not by enumerating terms: "every
+semester", "every fall", "alternate spring semesters".  This module makes
+those rules first-class so synthetic datasets, tests, and real deployments
+can declare a schedule as ``{course_id: pattern}`` and expand it over any
+term window:
+
+    >>> from repro.semester import Term
+    >>> schedule = build_schedule(
+    ...     {"CS 101": "every", "CS 240": "fall", "CS 350": "spring-odd"},
+    ...     Term(2011, "Spring"), Term(2012, "Fall"),
+    ... )
+    >>> sorted(str(t) for t in schedule.offerings("CS 240"))
+    ['Fall 2011', 'Fall 2012']
+
+Supported pattern strings: ``every``, ``<season>`` (e.g. ``fall``,
+``spring``), ``<season>-even`` / ``<season>-odd`` (calendar-year parity),
+and ``never``.  Season names are validated against the calendar of the
+window's start term, so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping
+
+from ..errors import CatalogError
+from ..semester import Term, term_range
+from .schedule import Schedule
+
+__all__ = ["pattern_terms", "build_schedule", "VALID_SUFFIXES"]
+
+VALID_SUFFIXES = ("", "-even", "-odd")
+
+
+def _parse_pattern(pattern: str, calendar) -> tuple:
+    """Split a pattern into ``(season or None, parity or None)``."""
+    lowered = pattern.strip().lower()
+    if lowered == "every":
+        return None, None
+    if lowered == "never":
+        return "", None  # matches nothing
+    parity = None
+    base = lowered
+    if lowered.endswith("-even"):
+        base, parity = lowered[: -len("-even")], 0
+    elif lowered.endswith("-odd"):
+        base, parity = lowered[: -len("-odd")], 1
+    try:
+        season = calendar.canonical_season(base)
+    except ValueError as exc:
+        raise CatalogError(f"unknown schedule pattern {pattern!r}: {exc}") from exc
+    return season, parity
+
+
+def pattern_terms(pattern: str, first: Term, last: Term) -> FrozenSet[Term]:
+    """All terms in ``[first, last]`` matching ``pattern``."""
+    season, parity = _parse_pattern(pattern, first.calendar)
+    if season == "":  # "never"
+        return frozenset()
+    matched = []
+    for term in term_range(first, last):
+        if season is not None and term.season != season:
+            continue
+        if parity is not None and term.year % 2 != parity:
+            continue
+        matched.append(term)
+    return frozenset(matched)
+
+
+def build_schedule(
+    patterns: Mapping[str, str], first: Term, last: Term
+) -> Schedule:
+    """Expand ``{course_id: pattern}`` over the window into a Schedule."""
+    offerings: Dict[str, FrozenSet[Term]] = {}
+    for course_id, pattern in patterns.items():
+        offerings[course_id] = pattern_terms(pattern, first, last)
+    return Schedule(offerings)

@@ -1,0 +1,99 @@
+"""The paper's primary contribution: learning-path generation algorithms.
+
+Three generators, matching Section 4:
+
+* :func:`~repro.core.deadline.generate_deadline_driven` — Algorithm 1:
+  every learning path from the start status to the end semester.
+* :func:`~repro.core.goal_driven.generate_goal_driven` — goal-driven paths
+  with the time-based and course-availability pruning strategies (§4.2).
+* :func:`~repro.core.ranked.generate_ranked` — top-k goal-driven paths
+  under a ranking function (time / workload / reliability, §4.3) via
+  best-first search.
+
+plus counting-mode variants (:mod:`repro.core.counting`) that run the same
+expansions over a merged-status DAG to produce exact path counts at
+horizons where the paper's tree explodes.
+"""
+
+from .config import ExplorationConfig
+from .constraints import (
+    ForbiddenCombination,
+    MaxCoursesInTerm,
+    MaxWorkloadPerTerm,
+    RequiredCompanions,
+    SelectionConstraint,
+    TermBlackout,
+)
+from .deadline import DeadlineResult, generate_deadline_driven
+from .goal_driven import GoalDrivenResult, generate_goal_driven
+from .pruning import (
+    AvailabilityPruner,
+    Pruner,
+    PruningContext,
+    PruningStats,
+    TimeBasedPruner,
+    default_pruners,
+)
+from .ranking import (
+    RankingFunction,
+    ReliabilityRanking,
+    TimeRanking,
+    WorkloadRanking,
+)
+from .rankings_extra import (
+    CompositeRanking,
+    CourseCountRanking,
+    SpreadPenaltyRanking,
+)
+from .ranked import RankedResult, generate_ranked
+from .counting import (
+    CountResult,
+    build_deadline_dag,
+    build_goal_dag,
+    count_deadline_paths,
+    count_goal_paths,
+)
+from .frontier import (
+    FrontierCount,
+    frontier_count_deadline_paths,
+    frontier_count_goal_paths,
+)
+from .stats import ExplorationStats
+
+__all__ = [
+    "ExplorationConfig",
+    "generate_deadline_driven",
+    "DeadlineResult",
+    "generate_goal_driven",
+    "GoalDrivenResult",
+    "generate_ranked",
+    "RankedResult",
+    "Pruner",
+    "PruningContext",
+    "PruningStats",
+    "TimeBasedPruner",
+    "AvailabilityPruner",
+    "default_pruners",
+    "RankingFunction",
+    "TimeRanking",
+    "WorkloadRanking",
+    "ReliabilityRanking",
+    "CompositeRanking",
+    "CourseCountRanking",
+    "SpreadPenaltyRanking",
+    "SelectionConstraint",
+    "MaxWorkloadPerTerm",
+    "MaxCoursesInTerm",
+    "ForbiddenCombination",
+    "RequiredCompanions",
+    "TermBlackout",
+    "CountResult",
+    "build_deadline_dag",
+    "build_goal_dag",
+    "count_deadline_paths",
+    "count_goal_paths",
+    "FrontierCount",
+    "frontier_count_goal_paths",
+    "frontier_count_deadline_paths",
+    "ExplorationStats",
+]

@@ -1,0 +1,210 @@
+"""Per-semester selection constraints (paper §6 future work).
+
+The paper's conclusion calls for "customizable filters of the final
+learning paths" to reduce output size.  Filters that only look at a
+*single semester's selection* can do much better than post-filtering:
+they can be enforced during generation, so violating subtrees are never
+built.  A :class:`SelectionConstraint` is exactly that — a predicate over
+``(selection, term, status)`` consulted by the shared
+:class:`~repro.core.expansion.Expander` for every candidate move.
+
+Enforcing a per-selection constraint during generation is *equivalent* to
+generating everything and dropping violating paths afterwards (each
+constraint only inspects one transition, so a path violates iff some
+transition does — property-tested in ``tests/test_constraints.py``), and
+pruning remains sound: constraints only remove paths, never add them.
+
+Whole-path predicates (e.g. "total workload under X") cannot be decided
+per transition; those live in :mod:`repro.analysis.filters` as post-hoc
+path filters.
+
+Constraints compose: pass any iterable via
+:attr:`ExplorationConfig.constraints`; a selection must satisfy all of
+them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Tuple
+
+from ..errors import InvalidConfigError
+from ..semester import Term
+
+if TYPE_CHECKING:
+    from ..catalog import Catalog
+    from ..graph.status import EnrollmentStatus
+
+__all__ = [
+    "SelectionConstraint",
+    "MaxWorkloadPerTerm",
+    "MaxCoursesInTerm",
+    "ForbiddenCombination",
+    "RequiredCompanions",
+    "TermBlackout",
+]
+
+
+class SelectionConstraint:
+    """Abstract per-transition constraint.
+
+    Subclasses implement :meth:`allows`.  Constraints must be *stateless
+    across transitions* — the verdict may depend only on the selection,
+    the term, and the status it is taken from.  That independence is what
+    makes generation-time enforcement equivalent to post-filtering.
+    """
+
+    #: Short identifier for error messages and reports.
+    name: str = "constraint"
+
+    def allows(
+        self,
+        selection: FrozenSet[str],
+        term: Term,
+        status: "EnrollmentStatus",
+    ) -> bool:
+        """Whether electing ``selection`` at ``status`` is acceptable."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class MaxWorkloadPerTerm(SelectionConstraint):
+    """Cap the summed weekly workload hours of any one semester.
+
+    The student-facing version of the paper's "paths whose workload does
+    not exceed a given threshold" (§4.3.1), enforced per semester.
+    """
+
+    name = "max-workload-per-term"
+
+    def __init__(self, catalog: "Catalog", max_hours: float):
+        if max_hours < 0:
+            raise InvalidConfigError(f"max_hours must be >= 0, got {max_hours}")
+        self._catalog = catalog
+        self._max_hours = max_hours
+
+    @property
+    def max_hours(self) -> float:
+        """The per-semester hour cap."""
+        return self._max_hours
+
+    def allows(self, selection, term, status) -> bool:
+        hours = sum(self._catalog[course_id].workload_hours for course_id in selection)
+        return hours <= self._max_hours
+
+    def describe(self) -> str:
+        return f"at most {self._max_hours:g} workload hours per semester"
+
+
+class MaxCoursesInTerm(SelectionConstraint):
+    """A tighter course cap for specific terms (e.g. a part-time semester
+    while the global ``m`` stays 3)."""
+
+    name = "max-courses-in-term"
+
+    def __init__(self, term: Term, max_courses: int):
+        if max_courses < 0:
+            raise InvalidConfigError(f"max_courses must be >= 0, got {max_courses}")
+        self._term = term
+        self._max_courses = max_courses
+
+    def allows(self, selection, term, status) -> bool:
+        if term != self._term:
+            return True
+        return len(selection) <= self._max_courses
+
+    def describe(self) -> str:
+        return f"at most {self._max_courses} courses in {self._term}"
+
+
+class ForbiddenCombination(SelectionConstraint):
+    """Never take all of these courses in the same semester
+    (schedule conflicts, notorious workload pairings)."""
+
+    name = "forbidden-combination"
+
+    def __init__(self, course_ids: Iterable[str]):
+        self._courses = frozenset(course_ids)
+        if len(self._courses) < 2:
+            raise InvalidConfigError(
+                "a forbidden combination needs at least two courses"
+            )
+
+    @property
+    def course_ids(self) -> FrozenSet[str]:
+        """The mutually exclusive course set."""
+        return self._courses
+
+    def allows(self, selection, term, status) -> bool:
+        return not self._courses <= selection
+
+    def describe(self) -> str:
+        return f"never {', '.join(sorted(self._courses))} together"
+
+
+class RequiredCompanions(SelectionConstraint):
+    """Taking ``course`` requires taking (or having taken) every
+    companion — e.g. a lab section bundled with a lecture."""
+
+    name = "required-companions"
+
+    def __init__(self, course_id: str, companions: Iterable[str]):
+        self._course = course_id
+        self._companions = frozenset(companions)
+        if not self._companions:
+            raise InvalidConfigError("companions must be non-empty")
+        if course_id in self._companions:
+            raise InvalidConfigError("a course cannot be its own companion")
+
+    def allows(self, selection, term, status) -> bool:
+        if self._course not in selection:
+            return True
+        satisfied = selection | status.completed
+        return self._companions <= satisfied
+
+    def describe(self) -> str:
+        return f"{self._course} requires {', '.join(sorted(self._companions))}"
+
+
+class TermBlackout(SelectionConstraint):
+    """Take nothing in the given terms (a planned leave of absence).
+
+    Combine with ``empty_selection="always"`` (or an option set that
+    empties naturally) so the blacked-out semester can still be skipped.
+    """
+
+    name = "term-blackout"
+
+    def __init__(self, terms: Iterable[Term]):
+        self._terms = frozenset(terms)
+        if not self._terms:
+            raise InvalidConfigError("blackout needs at least one term")
+
+    @property
+    def terms(self) -> FrozenSet[Term]:
+        """The blacked-out terms."""
+        return self._terms
+
+    def allows(self, selection, term, status) -> bool:
+        if term not in self._terms:
+            return True
+        return not selection
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(t) for t in sorted(self._terms))
+        return f"no courses in {rendered}"
+
+
+def check_all(
+    constraints: Tuple[SelectionConstraint, ...],
+    selection: FrozenSet[str],
+    term: Term,
+    status: "EnrollmentStatus",
+) -> bool:
+    """Whether every constraint admits the selection."""
+    return all(c.allows(selection, term, status) for c in constraints)

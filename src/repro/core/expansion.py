@@ -1,0 +1,144 @@
+"""Shared status-expansion machinery.
+
+All three generators perform the same elementary step: given an enrollment
+status, enumerate the legal selections ``W`` and produce the successor
+statuses ``(s+1, X ∪ W, Y')``.  :class:`Expander` centralizes that step —
+option-set computation, the per-term cap, avoid-lists, the empty-selection
+policy, and the schedule override — so the algorithms differ only in
+*which* nodes they expand and when they stop.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterator, Tuple
+
+from ..catalog import Catalog
+from ..graph.status import EnrollmentStatus
+from ..semester import Term
+from .config import ExplorationConfig
+from .constraints import check_all
+from .options import has_relevant_future_offering, iter_selections
+
+__all__ = ["Expander"]
+
+
+class Expander:
+    """Successor generation for one exploration run.
+
+    Parameters
+    ----------
+    catalog:
+        The validated course catalog.
+    end_term:
+        The exploration deadline ``d`` (used by the ``auto``
+        empty-selection policy to decide whether waiting can still pay off).
+    config:
+        Student constraints and engine knobs.
+    """
+
+    def __init__(self, catalog: Catalog, end_term: Term, config: ExplorationConfig):
+        self._catalog = catalog
+        self._end_term = end_term
+        self._config = config
+        self._schedule = config.schedule if config.schedule is not None else catalog.schedule
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog this expander reads."""
+        return self._catalog
+
+    @property
+    def end_term(self) -> Term:
+        """The exploration deadline ``d``."""
+        return self._end_term
+
+    @property
+    def config(self) -> ExplorationConfig:
+        """The active configuration."""
+        return self._config
+
+    # -- status construction -------------------------------------------------
+
+    def options(self, completed: AbstractSet[str], term: Term) -> FrozenSet[str]:
+        """The option set ``Y`` for ``completed`` at ``term``
+        (honouring the avoid-list and schedule override)."""
+        return self._catalog.eligible_courses(
+            completed,
+            term,
+            exclude=self._config.avoid_courses,
+            schedule=self._schedule,
+        )
+
+    def initial_status(
+        self, term: Term, completed: AbstractSet[str] = frozenset()
+    ) -> EnrollmentStatus:
+        """The start node ``n_1``: ``(s, X, Y)`` with ``Y`` derived."""
+        completed = frozenset(completed)
+        return EnrollmentStatus(
+            term=term, completed=completed, options=self.options(completed, term)
+        )
+
+    # -- the expansion step ----------------------------------------------------
+
+    def successors(
+        self, status: EnrollmentStatus, required_minimum: int = 0
+    ) -> Iterator[Tuple[FrozenSet[str], EnrollmentStatus]]:
+        """Yield ``(selection, child status)`` for every legal move.
+
+        ``required_minimum`` is the strategic-selection floor ``min_i``
+        derived by time-based pruning (0 when unconstrained): non-empty
+        selections smaller than it are skipped, and the empty move is
+        suppressed whenever it is positive (an empty move under a positive
+        floor provably leads to a child the time pruner rejects).
+
+        Does **not** check the deadline — callers decide which nodes are
+        terminal before asking for successors.
+        """
+        m = self._config.max_courses_per_term
+        constraints = self._config.constraints
+        floor = max(required_minimum, 0)
+        emitted_any = False
+        if status.options:
+            for selection in iter_selections(status.options, m, max(1, floor)):
+                if constraints and not check_all(
+                    constraints, selection, status.term, status
+                ):
+                    continue
+                emitted_any = True
+                yield selection, self._child(status, selection)
+        if floor == 0 and self._empty_move_allowed(status, emitted_any):
+            empty = frozenset()
+            if not constraints or check_all(constraints, empty, status.term, status):
+                yield empty, self._child(status, empty)
+
+    def _child(
+        self, status: EnrollmentStatus, selection: FrozenSet[str]
+    ) -> EnrollmentStatus:
+        next_term = status.term + 1
+        completed = status.completed | selection
+        return EnrollmentStatus(
+            term=next_term,
+            completed=completed,
+            options=self.options(completed, next_term),
+        )
+
+    def _empty_move_allowed(self, status: EnrollmentStatus, has_nonempty: bool) -> bool:
+        policy = self._config.empty_selection
+        if policy == "never":
+            return False
+        if policy == "always":
+            return True
+        # "auto" (paper-faithful): an empty transition exists only when no
+        # course can actually be elected — an empty option set, or every
+        # selection blocked by constraints (a blackout term) — and waiting
+        # can still reach something.
+        if has_nonempty:
+            return False
+        return has_relevant_future_offering(
+            self._catalog,
+            status.completed,
+            status.term,
+            self._end_term,
+            exclude=self._config.avoid_courses,
+            schedule=self._schedule,
+        )

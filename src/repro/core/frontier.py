@@ -1,0 +1,240 @@
+"""Frontier dynamic-programming path counting (memory-lean extension).
+
+The merged-status DAG (:mod:`repro.core.counting`) stores every distinct
+status it ever visits, which still exhausts memory at the horizons where
+the paper reports tens of millions of goal paths (Table 2, 6–7 semesters:
+the authors used a 32 GB server).  For *counting* purposes even the DAG is
+more than needed: path counts can be pushed forward term by term, keeping
+only one frontier layer at a time —
+
+    frontier[t] : {completed-set → number of selection sequences reaching it}
+
+Each term, every state either terminates (goal satisfied → its
+multiplicity joins the total; deadline reached → dropped) or expands its
+selections into the next layer.  Peak memory is the widest single layer
+rather than the union of all layers, and per-state storage is one
+frozenset and one integer.
+
+This is an extension beyond the paper (documented in DESIGN.md), used by
+the Table 2 benchmark to regenerate the large goal-driven rows.  It
+produces exactly the same counts as the tree and DAG algorithms
+(property-tested), including identical pruning behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, List, Optional
+
+from ..catalog import Catalog
+from ..errors import BudgetExceededError, ExplorationError
+from ..graph.status import EnrollmentStatus
+from ..requirements import Goal
+from ..semester import Term
+from .config import ExplorationConfig
+from .expansion import Expander
+from .goal_driven import _selection_floor
+from .pruning import (
+    Pruner,
+    PruningContext,
+    PruningStats,
+    TimeBasedPruner,
+    default_pruners,
+    first_firing_pruner,
+    suppressed_selection_count,
+)
+
+__all__ = ["FrontierCount", "frontier_count_goal_paths", "frontier_count_deadline_paths"]
+
+
+@dataclass
+class FrontierCount:
+    """Result of a frontier-DP counting run."""
+
+    path_count: int
+    peak_frontier: int
+    total_states: int
+    elapsed_seconds: float = 0.0
+    pruning_stats: Optional[PruningStats] = None
+    layer_widths: List[int] = field(default_factory=list)
+    #: Exact number of tree paths ending at each terminal kind
+    #: (``goal`` / ``deadline`` / ``dead_end`` / ``pruned``) — the
+    #: multiplicity-weighted leaf census of the tree the paper's algorithm
+    #: would have built.  ``explored_path_count`` (everything except
+    #: ``pruned``) is Table 1's "# of paths" column.
+    terminal_path_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def explored_path_count(self) -> int:
+        """Tree leaves actually reached (all kinds except ``pruned``)."""
+        return sum(
+            count
+            for kind, count in self.terminal_path_counts.items()
+            if kind != "pruned"
+        )
+
+
+def _check_inputs(
+    catalog: Catalog, start_term: Term, end_term: Term, completed: AbstractSet[str]
+) -> None:
+    if end_term < start_term:
+        raise ExplorationError(f"end term {end_term} precedes start term {start_term}")
+    unknown = frozenset(completed) - catalog.course_ids()
+    if unknown:
+        raise ExplorationError(f"completed courses not in catalog: {sorted(unknown)}")
+
+
+def _run_frontier(
+    catalog: Catalog,
+    start_term: Term,
+    end_term: Term,
+    completed: AbstractSet[str],
+    config: ExplorationConfig,
+    goal: Optional[Goal],
+    pruners: List[Pruner],
+    time_pruner: Optional[TimeBasedPruner],
+    count_dead_ends: bool,
+    max_frontier: Optional[int],
+) -> FrontierCount:
+    import time as _time
+
+    started = _time.perf_counter()
+    expander = Expander(catalog, end_term, config)
+    pruning_stats = PruningStats()
+
+    frontier: Dict[FrozenSet[str], int] = {frozenset(completed): 1}
+    term = start_term
+    peak = 1
+    total_states = 1
+    widths = [1]
+    terminal_counts: Dict[str, int] = {}
+
+    def _terminate(kind: str, multiplicity: int) -> None:
+        terminal_counts[kind] = terminal_counts.get(kind, 0) + multiplicity
+
+    while frontier and term <= end_term:
+        next_frontier: Dict[FrozenSet[str], int] = {}
+        for state, multiplicity in frontier.items():
+            status = EnrollmentStatus(
+                term=term, completed=state, options=expander.options(state, term)
+            )
+            if goal is not None and goal.is_satisfied(state):
+                _terminate("goal", multiplicity)
+                continue
+            if term >= end_term:
+                _terminate("deadline", multiplicity)
+                continue
+            if goal is not None:
+                firing = first_firing_pruner(pruners, status)
+                if firing is not None:
+                    pruning_stats.record(firing.name)
+                    _terminate("pruned", multiplicity)
+                    continue
+                floor = _selection_floor(time_pruner, config, status)
+                suppressed = suppressed_selection_count(len(status.options), floor)
+                if suppressed:
+                    pruning_stats.record("time", suppressed)
+            else:
+                floor = 0
+            expanded = False
+            for _selection, child in expander.successors(status, required_minimum=floor):
+                key = child.completed
+                next_frontier[key] = next_frontier.get(key, 0) + multiplicity
+                expanded = True
+            if not expanded:
+                _terminate("dead_end", multiplicity)
+            # Check the budget as the layer grows (not just once it is
+            # complete) so an exploding layer fails fast instead of
+            # exhausting memory first.
+            if max_frontier is not None and len(next_frontier) > max_frontier:
+                raise BudgetExceededError(
+                    "frontier states", max_frontier, len(next_frontier)
+                )
+        frontier = next_frontier
+        term = term + 1
+        if frontier:
+            peak = max(peak, len(frontier))
+            total_states += len(frontier)
+            widths.append(len(frontier))
+
+    if goal is not None:
+        total = terminal_counts.get("goal", 0)
+    else:
+        # Deadline mode: every maximal path — deadline leaves + dead ends.
+        total = terminal_counts.get("deadline", 0) + (
+            terminal_counts.get("dead_end", 0) if count_dead_ends else 0
+        )
+    return FrontierCount(
+        path_count=total,
+        peak_frontier=peak,
+        total_states=total_states,
+        elapsed_seconds=_time.perf_counter() - started,
+        pruning_stats=pruning_stats if goal is not None else None,
+        layer_widths=widths,
+        terminal_path_counts=terminal_counts,
+    )
+
+
+def frontier_count_goal_paths(
+    catalog: Catalog,
+    start_term: Term,
+    goal: Goal,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    pruners: Optional[List[Pruner]] = None,
+    max_frontier: Optional[int] = None,
+) -> FrontierCount:
+    """Exact goal-driven path count with one-layer memory.
+
+    Semantics match :func:`~repro.core.goal_driven.generate_goal_driven`
+    exactly; ``max_frontier`` bounds the widest layer, raising
+    :class:`~repro.errors.BudgetExceededError` beyond it.
+    """
+    config = config or ExplorationConfig()
+    _check_inputs(catalog, start_term, end_term, completed)
+    context = PruningContext(catalog=catalog, goal=goal, end_term=end_term, config=config)
+    if pruners is None:
+        pruners = default_pruners(context)
+    time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
+    return _run_frontier(
+        catalog,
+        start_term,
+        end_term,
+        completed,
+        config,
+        goal,
+        pruners,
+        time_pruner,
+        count_dead_ends=False,
+        max_frontier=max_frontier,
+    )
+
+
+def frontier_count_deadline_paths(
+    catalog: Catalog,
+    start_term: Term,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    max_frontier: Optional[int] = None,
+) -> FrontierCount:
+    """Exact deadline-driven path count with one-layer memory.
+
+    Counts match :func:`~repro.core.deadline.generate_deadline_driven`:
+    deadline leaves plus dead ends.
+    """
+    config = config or ExplorationConfig()
+    _check_inputs(catalog, start_term, end_term, completed)
+    return _run_frontier(
+        catalog,
+        start_term,
+        end_term,
+        completed,
+        config,
+        goal=None,
+        pruners=[],
+        time_pruner=None,
+        count_dead_ends=True,
+        max_frontier=max_frontier,
+    )

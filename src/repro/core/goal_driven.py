@@ -1,0 +1,177 @@
+"""Goal-driven learning paths (§4.2.3).
+
+Same expansion as Algorithm 1, with two changes:
+
+1. A node whose completed set already satisfies the goal is a terminal
+   (``goal``) — exploration does not continue past success.  A node at the
+   end semester whose completed set does not satisfy the goal is a failed
+   leaf (``deadline``) and is not part of the output.
+2. Before expanding any node, the pruning strategies are consulted; if one
+   fires, the node is tagged ``pruned`` and its (provably goalless)
+   subtree is never generated.
+
+When ``config.enforce_min_selection`` is on, the time-based pruner's
+``min_i`` additionally floors the selection size ("strategic course
+selections") — output-identical, but skips children the time pruner would
+reject one level down.
+
+Pass ``pruners=[]`` to run the unpruned baseline (Table 1's "No Pruning"
+column); pass a custom list to ablate strategies or reorder them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Iterator, List, Optional
+
+from ..catalog import Catalog
+from ..errors import BudgetExceededError, ExplorationError
+from ..graph import LearningGraph, LearningPath
+from ..requirements import Goal
+from ..semester import Term
+from .config import ExplorationConfig
+from .expansion import Expander
+from .pruning import (
+    Pruner,
+    PruningContext,
+    PruningStats,
+    TimeBasedPruner,
+    default_pruners,
+    first_firing_pruner,
+    suppressed_selection_count,
+)
+from .stats import ExplorationStats
+
+__all__ = ["GoalDrivenResult", "generate_goal_driven"]
+
+
+@dataclass
+class GoalDrivenResult:
+    """Output of a goal-driven run."""
+
+    graph: LearningGraph
+    stats: ExplorationStats
+    pruning_stats: PruningStats
+
+    def paths(self) -> Iterator[LearningPath]:
+        """The goal-satisfying learning paths (the algorithm's output set)."""
+        return self.graph.paths("goal")
+
+    @property
+    def path_count(self) -> int:
+        """Number of goal paths."""
+        return self.graph.count_paths("goal")
+
+    @property
+    def explored_leaf_count(self) -> int:
+        """Every non-pruned leaf reached (goal + deadline + dead-end) —
+        the quantity Table 1 reports to show how much pruning saves."""
+        return self.graph.count_paths()
+
+
+def _selection_floor(
+    time_pruner: Optional[TimeBasedPruner],
+    config: ExplorationConfig,
+    status,
+) -> int:
+    if time_pruner is None or not config.enforce_min_selection:
+        return 0
+    minimum = time_pruner.min_required_this_term(status)
+    if math.isinf(minimum):
+        # The pruner stack should have cut this node already; stay safe.
+        return config.max_courses_per_term + 1
+    return max(0, int(math.ceil(minimum)))
+
+
+def generate_goal_driven(
+    catalog: Catalog,
+    start_term: Term,
+    goal: Goal,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    pruners: Optional[List[Pruner]] = None,
+) -> GoalDrivenResult:
+    """Generate every learning path that satisfies ``goal`` by ``end_term``.
+
+    Parameters
+    ----------
+    catalog, start_term, end_term, completed, config:
+        As in :func:`~repro.core.deadline.generate_deadline_driven`.
+    goal:
+        The goal requirement (degree rule, course set, boolean expression).
+    pruners:
+        The pruning strategy stack.  ``None`` (default) uses the paper's
+        stack — time-based then availability; ``[]`` disables pruning
+        (the Table 1 baseline).  Custom pruners must be built against a
+        :class:`~repro.core.pruning.PruningContext` equivalent to this
+        call's arguments.
+
+    Returns
+    -------
+    GoalDrivenResult
+        Graph (output = ``goal`` terminals), run statistics, and
+        per-strategy pruning counters.
+    """
+    config = config or ExplorationConfig()
+    if end_term < start_term:
+        raise ExplorationError(f"end term {end_term} precedes start term {start_term}")
+    unknown = frozenset(completed) - catalog.course_ids()
+    if unknown:
+        raise ExplorationError(f"completed courses not in catalog: {sorted(unknown)}")
+
+    context = PruningContext(catalog=catalog, goal=goal, end_term=end_term, config=config)
+    if pruners is None:
+        pruners = default_pruners(context)
+    time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
+
+    stats = ExplorationStats()
+    pruning_stats = PruningStats()
+    stats.start_timer()
+    expander = Expander(catalog, end_term, config)
+    graph = LearningGraph(expander.initial_status(start_term, completed))
+    stats.record_node()
+
+    stack = [graph.root_id]
+    while stack:
+        node_id = stack.pop()
+        status = graph.status(node_id)
+
+        if goal.is_satisfied(status.completed):
+            graph.mark_terminal(node_id, "goal")
+            stats.record_terminal("goal")
+            continue
+        if status.term >= end_term:
+            graph.mark_terminal(node_id, "deadline")
+            stats.record_terminal("deadline")
+            continue
+        firing = first_firing_pruner(pruners, status)
+        if firing is not None:
+            graph.mark_terminal(node_id, "pruned")
+            stats.record_terminal("pruned")
+            stats.record_prune(firing.name)
+            pruning_stats.record(firing.name)
+            continue
+
+        floor = _selection_floor(time_pruner, config, status)
+        suppressed = suppressed_selection_count(len(status.options), floor)
+        if suppressed:
+            stats.record_prune("time", suppressed)
+            pruning_stats.record("time", suppressed)
+        expanded = False
+        for selection, child_status in expander.successors(status, required_minimum=floor):
+            if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
+                stats.stop_timer()
+                raise BudgetExceededError("nodes", config.max_nodes, graph.num_nodes)
+            child_id = graph.add_child(node_id, selection, child_status)
+            stats.record_node()
+            stats.record_edge()
+            stack.append(child_id)
+            expanded = True
+        if not expanded:
+            graph.mark_terminal(node_id, "dead_end")
+            stats.record_terminal("dead_end")
+
+    stats.stop_timer()
+    return GoalDrivenResult(graph=graph, stats=stats, pruning_stats=pruning_stats)

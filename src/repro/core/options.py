@@ -1,0 +1,82 @@
+"""Course-combination enumeration (the ``W ⊆ Y`` loop of Algorithm 1).
+
+Given an option set ``Y`` and the per-term cap ``m``, Algorithm 1 iterates
+every course combination ``W`` with ``|W| ≤ m``.  The paper's combination
+count ``Σ_{i=1..m} C(|Y|, i)`` excludes the empty set; empty transitions
+are a separate, policy-controlled move (see
+:class:`~repro.core.config.ExplorationConfig.empty_selection`).
+
+Enumeration order is deterministic — sizes ascending, lexicographic within
+a size — so graphs, path order, and benchmark results are reproducible
+run-to-run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import comb
+from typing import AbstractSet, FrozenSet, Iterator, Optional
+
+from ..catalog import Catalog
+from ..catalog.schedule import Schedule
+from ..semester import Term, term_range
+
+__all__ = [
+    "iter_selections",
+    "selection_count",
+    "has_relevant_future_offering",
+]
+
+
+def iter_selections(
+    options: AbstractSet[str],
+    max_per_term: int,
+    min_per_term: int = 1,
+) -> Iterator[FrozenSet[str]]:
+    """Yield every selection ``W ⊆ options`` with
+    ``min_per_term ≤ |W| ≤ max_per_term``, deterministically ordered.
+
+    ``min_per_term`` implements the strategic-selection refinement: when the
+    time-based pruner proves at least ``min_i`` courses are needed this
+    semester, smaller selections are skipped.  Pass ``min_per_term=0`` to
+    include the empty selection.
+    """
+    ordered = sorted(options)
+    lower = max(min_per_term, 0)
+    upper = min(max_per_term, len(ordered))
+    for size in range(lower, upper + 1):
+        for combo in itertools.combinations(ordered, size):
+            yield frozenset(combo)
+
+
+def selection_count(option_count: int, max_per_term: int) -> int:
+    """The paper's per-node branching factor ``Σ_{i=1..m} C(|Y|, i)``."""
+    return sum(comb(option_count, size) for size in range(1, max_per_term + 1))
+
+
+def has_relevant_future_offering(
+    catalog: Catalog,
+    completed: AbstractSet[str],
+    current_term: Term,
+    end_term: Term,
+    exclude: AbstractSet[str] = frozenset(),
+    schedule: Optional[Schedule] = None,
+) -> bool:
+    """Whether any not-completed, non-avoided course is offered *after*
+    ``current_term`` and strictly before ``end_term``.
+
+    This is the ``auto`` empty-selection test: skipping a semester is only
+    worth modelling when something could still be taken later (courses
+    taken in semester ``t`` complete by ``t+1``, so the last useful
+    offering term is ``end_term − 1``).  Fig. 3's ``n4`` passes this test
+    (11A returns in Fall '12); ``n6`` fails it and becomes a dead end.
+    """
+    schedule = schedule if schedule is not None else catalog.schedule
+    last_useful = end_term - 1
+    if last_useful <= current_term:
+        return False
+    for term in term_range(current_term + 1, last_useful):
+        for course_id in schedule.offered_in(term):
+            if course_id not in completed and course_id not in exclude:
+                return True
+    return False

@@ -1,0 +1,209 @@
+"""The goal-driven algorithm's pruning strategies (§4.2.1–4.2.2).
+
+Both strategies answer the same question about a node ``n_i``: *can any
+path out of here still satisfy the goal by the end semester?*  Both are
+sound (Lemma 1 and the analogous argument for availability pruning): they
+only cut subtrees that provably contain no goal path, which the test suite
+verifies by comparing pruned and unpruned output path sets.
+
+* :class:`TimeBasedPruner` —
+  ``min_i = left_i − m·(d − s_i − 1)``; prune when ``min_i > m``.
+  ``left_i`` is the goal's minimum-additional-courses bound, computed by
+  the goal itself (max-flow for degree goals, per Parameswaran et al.).
+  The pruner also exposes ``min_i`` so the generator can skip selections
+  smaller than it ("strategic course selections").
+
+* :class:`AvailabilityPruner` — assume the student takes *every* course
+  offered in the remaining semesters (``s_i`` through ``d − 1``; a course
+  taken in term ``t`` completes by ``t + 1``); if the goal is still not
+  satisfied, prune.  This catches what the time bound's best-case
+  assumption misses: courses that simply will not be offered in time
+  (Fig. 3's ``n4``).
+
+Strategies are consulted in list order and the **first** one that fires
+gets the credit in :class:`PruningStats` — the paper's 82%/18% split is
+measured the same way (time-based is listed first).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..catalog import Catalog
+from ..catalog.schedule import Schedule
+from ..graph.status import EnrollmentStatus
+from ..requirements import Goal
+from ..semester import Term
+from .config import ExplorationConfig
+
+__all__ = [
+    "PruningContext",
+    "Pruner",
+    "TimeBasedPruner",
+    "AvailabilityPruner",
+    "PruningStats",
+    "default_pruners",
+]
+
+
+@dataclass(frozen=True)
+class PruningContext:
+    """Everything a pruning strategy may consult about the current run."""
+
+    catalog: Catalog
+    goal: Goal
+    end_term: Term
+    config: ExplorationConfig
+
+    @property
+    def schedule(self) -> Schedule:
+        """The active schedule (config override or catalog default)."""
+        if self.config.schedule is not None:
+            return self.config.schedule
+        return self.catalog.schedule
+
+
+class Pruner:
+    """Abstract pruning strategy.
+
+    Subclasses must be *sound*: ``should_prune(status)`` may return true
+    only when no expansion of ``status`` can reach a goal node by the end
+    semester.
+    """
+
+    #: Short identifier used in statistics (``"time"``, ``"availability"``).
+    name: str = "pruner"
+
+    def __init__(self, context: PruningContext):
+        self._context = context
+
+    @property
+    def context(self) -> PruningContext:
+        """The run context this pruner was built for."""
+        return self._context
+
+    def should_prune(self, status: EnrollmentStatus) -> bool:
+        """Whether the subtree rooted at ``status`` is provably goalless."""
+        raise NotImplementedError
+
+
+class TimeBasedPruner(Pruner):
+    """§4.2.1: not enough semesters remain even in the best case."""
+
+    name = "time"
+
+    def min_required_this_term(self, status: EnrollmentStatus) -> float:
+        """The paper's ``min_i``: the fewest courses that must be taken in
+        this semester for the goal to remain reachable, assuming ``m``
+        courses in every later semester.  May be ≤ 0 (no constraint),
+        ``> m`` (hopeless), or ``inf`` (goal unsatisfiable outright)."""
+        context = self._context
+        left = context.goal.remaining_courses(status.completed)
+        if math.isinf(left):
+            return math.inf
+        m = context.config.max_courses_per_term
+        semesters_after_this = context.end_term - status.term - 1
+        return left - m * semesters_after_this
+
+    def should_prune(self, status: EnrollmentStatus) -> bool:
+        return self.min_required_this_term(status) > self._context.config.max_courses_per_term
+
+
+class AvailabilityPruner(Pruner):
+    """§4.2.2: even taking everything still offered cannot meet the goal."""
+
+    name = "availability"
+
+    def __init__(self, context: PruningContext):
+        super().__init__(context)
+        self._offered_cache: Dict[Term, FrozenSet[str]] = {}
+
+    def _offered_from(self, term: Term) -> FrozenSet[str]:
+        """Courses offered in any remaining semester ``[term, d − 1]``,
+        minus the avoid-list (cached per term)."""
+        cached = self._offered_cache.get(term)
+        if cached is not None:
+            return cached
+        context = self._context
+        last_useful = context.end_term - 1
+        if last_useful < term:
+            offered: FrozenSet[str] = frozenset()
+        else:
+            offered = (
+                context.schedule.offered_between(term, last_useful)
+                - context.config.avoid_courses
+            )
+        self._offered_cache[term] = offered
+        return offered
+
+    def should_prune(self, status: EnrollmentStatus) -> bool:
+        # The optimistic end-semester completion set X_e: everything done
+        # plus everything that could still be taken (ignoring prerequisites
+        # and the per-term cap — both only shrink it, keeping this sound).
+        best_case = status.completed | self._offered_from(status.term)
+        return not self._context.goal.is_satisfied(best_case)
+
+
+@dataclass
+class PruningStats:
+    """Per-strategy prune-event counters for one run."""
+
+    events: Dict[str, int]
+
+    def __init__(self) -> None:
+        self.events = {}
+
+    def record(self, pruner_name: str, count: int = 1) -> None:
+        """Count ``count`` subtrees cut by ``pruner_name``."""
+        self.events[pruner_name] = self.events.get(pruner_name, 0) + count
+
+    @property
+    def total(self) -> int:
+        """Total prune events across strategies."""
+        return sum(self.events.values())
+
+    def share(self, pruner_name: str) -> float:
+        """Fraction of prune events credited to one strategy."""
+        if self.total == 0:
+            return 0.0
+        return self.events.get(pruner_name, 0) / self.total
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot."""
+        return dict(self.events)
+
+
+def default_pruners(context: PruningContext) -> List[Pruner]:
+    """The paper's strategy stack, in the paper's order: time-based first,
+    then course-availability."""
+    return [TimeBasedPruner(context), AvailabilityPruner(context)]
+
+
+def first_firing_pruner(
+    pruners: Sequence[Pruner], status: EnrollmentStatus
+) -> Optional[Pruner]:
+    """The first strategy (in list order) that prunes ``status``, if any."""
+    for pruner in pruners:
+        if pruner.should_prune(status):
+            return pruner
+    return None
+
+
+def suppressed_selection_count(option_count: int, floor: int) -> int:
+    """Subtrees eliminated by the strategic-selection floor at one node.
+
+    When ``enforce_min_selection`` skips every selection smaller than the
+    time-derived ``min_i``, each skipped selection is a subtree that the
+    time-based bound eliminated — the generators credit these to the
+    ``time`` strategy so the §5.2 pruning-share accounting reflects what
+    each bound actually cut (without the floor, each of these children
+    would be created and then pruned by the time strategy one level down).
+    """
+    from math import comb
+
+    if floor <= 1 or option_count <= 0:
+        return 0
+    upper = min(floor - 1, option_count)
+    return sum(comb(option_count, size) for size in range(1, upper + 1))

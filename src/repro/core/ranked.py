@@ -1,0 +1,234 @@
+"""Ranked (top-k) learning paths — best-first search (§4.3.2).
+
+Uniform-cost search over partial paths: a priority queue keyed by path
+cost, expanding the cheapest frontier node first.  When a popped node
+satisfies the goal, its path is the next-best complete path (edge costs
+are non-negative, so no cheaper completion can still be hiding in the
+queue — Lemma 2); after ``k`` emissions the search stops without building
+the rest of the graph.  The goal-driven pruning strategies run before
+every expansion, exactly as the paper prescribes.
+
+Partial paths are stored as parent-linked nodes, so memory is one record
+per generated node rather than one copy of every prefix.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import AbstractSet, FrozenSet, List, Optional, Tuple
+
+from ..catalog import Catalog
+from ..errors import BudgetExceededError, ExplorationError
+from ..graph.path import LearningPath
+from ..graph.status import EnrollmentStatus
+from ..requirements import Goal
+from ..semester import Term
+from .config import ExplorationConfig
+from .expansion import Expander
+from .goal_driven import _selection_floor
+from .pruning import (
+    Pruner,
+    PruningContext,
+    PruningStats,
+    TimeBasedPruner,
+    default_pruners,
+    first_firing_pruner,
+    suppressed_selection_count,
+)
+from .ranking import RankingFunction
+from .stats import ExplorationStats
+
+__all__ = ["RankedResult", "generate_ranked"]
+
+
+class _SearchNode:
+    """A frontier entry: a status plus the parent link that names its path."""
+
+    __slots__ = ("status", "parent", "selection", "cost", "depth")
+
+    def __init__(
+        self,
+        status: EnrollmentStatus,
+        parent: Optional["_SearchNode"],
+        selection: FrozenSet[str],
+        cost: float,
+        depth: int,
+    ):
+        self.status = status
+        self.parent = parent
+        self.selection = selection
+        self.cost = cost
+        self.depth = depth
+
+    def materialize(self) -> LearningPath:
+        statuses = [self.status]
+        selections: List[FrozenSet[str]] = []
+        node = self
+        while node.parent is not None:
+            selections.append(node.selection)
+            node = node.parent
+            statuses.append(node.status)
+        statuses.reverse()
+        selections.reverse()
+        return LearningPath(statuses, selections)
+
+
+@dataclass
+class RankedResult:
+    """Output of a ranked run: up to ``k`` goal paths in cost order."""
+
+    paths: List[LearningPath]
+    costs: List[float]
+    ranking: RankingFunction
+    stats: ExplorationStats
+    pruning_stats: PruningStats
+    exhausted: bool = field(default=False)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def ranked(self) -> List[Tuple[float, LearningPath]]:
+        """``(cost, path)`` pairs, best first."""
+        return list(zip(self.costs, self.paths))
+
+
+def generate_ranked(
+    catalog: Catalog,
+    start_term: Term,
+    goal: Goal,
+    end_term: Term,
+    k: int,
+    ranking: RankingFunction,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    pruners: Optional[List[Pruner]] = None,
+) -> RankedResult:
+    """The top-``k`` goal paths under ``ranking``, best first.
+
+    Parameters
+    ----------
+    k:
+        How many paths to return (fewer when fewer goal paths exist — then
+        ``result.exhausted`` is true).
+    ranking:
+        Any :class:`~repro.core.ranking.RankingFunction`; the search is
+        agnostic to the specific function as long as edge costs are
+        non-negative.
+    pruners:
+        As in goal-driven generation; ``None`` uses the paper's stack.
+
+    Returns
+    -------
+    RankedResult
+        ``paths[i]`` has cost ``costs[i]``, non-decreasing in ``i``.
+
+    Notes
+    -----
+    ``config.max_nodes`` bounds the number of search nodes *generated*
+    (queue inserts), raising :class:`~repro.errors.BudgetExceededError`
+    beyond it.
+    """
+    config = config or ExplorationConfig()
+    if k < 1:
+        raise ExplorationError(f"k must be >= 1, got {k}")
+    if end_term < start_term:
+        raise ExplorationError(f"end term {end_term} precedes start term {start_term}")
+    unknown = frozenset(completed) - catalog.course_ids()
+    if unknown:
+        raise ExplorationError(f"completed courses not in catalog: {sorted(unknown)}")
+
+    context = PruningContext(catalog=catalog, goal=goal, end_term=end_term, config=config)
+    if pruners is None:
+        pruners = default_pruners(context)
+    time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
+
+    stats = ExplorationStats()
+    pruning_stats = PruningStats()
+    stats.start_timer()
+    expander = Expander(catalog, end_term, config)
+
+    root = _SearchNode(
+        expander.initial_status(start_term, completed), None, frozenset(), 0.0, 0
+    )
+    stats.record_node()
+    tiebreak = itertools.count()
+    root_bound = ranking.remaining_cost_bound(root.status, goal, config)
+    # Heap entries are (cost + admissible completion bound, -depth, order,
+    # node): A* ordering with deeper-first tie-breaking, so with unit edge
+    # costs the search dives toward completable plans instead of sweeping
+    # every shallow node first.  Goal paths still emerge in true cost order
+    # because the bound never over-estimates (see RankingFunction docs).
+    frontier: List[Tuple[float, int, int, _SearchNode]] = []
+    if not math.isinf(root_bound):
+        frontier.append((root_bound, 0, next(tiebreak), root))
+
+    paths: List[LearningPath] = []
+    costs: List[float] = []
+    generated = 1
+
+    while frontier and len(paths) < k:
+        _priority, _neg_depth, _order, node = heapq.heappop(frontier)
+        cost = node.cost
+        status = node.status
+
+        if goal.is_satisfied(status.completed):
+            paths.append(node.materialize())
+            costs.append(cost)
+            stats.record_terminal("goal")
+            continue
+        if status.term >= end_term:
+            stats.record_terminal("deadline")
+            continue
+        firing = first_firing_pruner(pruners, status)
+        if firing is not None:
+            stats.record_terminal("pruned")
+            stats.record_prune(firing.name)
+            pruning_stats.record(firing.name)
+            continue
+
+        floor = _selection_floor(time_pruner, config, status)
+        suppressed = suppressed_selection_count(len(status.options), floor)
+        if suppressed:
+            stats.record_prune("time", suppressed)
+            pruning_stats.record("time", suppressed)
+        expanded = False
+        for selection, child_status in expander.successors(status, required_minimum=floor):
+            edge_cost = ranking.edge_cost(selection, status.term)
+            if edge_cost < 0:
+                raise ExplorationError(
+                    f"ranking {ranking.name!r} produced a negative edge cost "
+                    f"({edge_cost}) — best-first ordering would be unsound"
+                )
+            if math.isinf(edge_cost):
+                continue  # impossible edge (e.g. zero offering probability)
+            bound = ranking.remaining_cost_bound(child_status, goal, config)
+            if math.isinf(bound):
+                continue  # goal unreachable from the child
+            generated += 1
+            if config.max_nodes is not None and generated > config.max_nodes:
+                stats.stop_timer()
+                raise BudgetExceededError("nodes", config.max_nodes, generated)
+            child = _SearchNode(
+                child_status, node, selection, cost + edge_cost, node.depth + 1
+            )
+            stats.record_node()
+            stats.record_edge()
+            heapq.heappush(
+                frontier, (child.cost + bound, -child.depth, next(tiebreak), child)
+            )
+            expanded = True
+        if not expanded:
+            stats.record_terminal("dead_end")
+
+    stats.stop_timer()
+    return RankedResult(
+        paths=paths,
+        costs=costs,
+        ranking=ranking,
+        stats=stats,
+        pruning_stats=pruning_stats,
+        exhausted=len(paths) < k,
+    )

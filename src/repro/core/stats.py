@@ -1,0 +1,101 @@
+"""Exploration run statistics.
+
+Every generator fills an :class:`ExplorationStats` while it runs: node and
+edge counts, terminal-kind tallies, per-strategy prune events, elapsed
+time.  The evaluation section's tables are assembled from these counters
+(Table 1's pruned-path percentages, §5.2's 82%/18% time-vs-availability
+split), so they are part of the public result API rather than debug-only
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["ExplorationStats"]
+
+
+@dataclass
+class ExplorationStats:
+    """Mutable counters for one generation run."""
+
+    nodes_created: int = 0
+    edges_created: int = 0
+    terminals: Dict[str, int] = field(default_factory=dict)
+    prune_events: Dict[str, int] = field(default_factory=dict)
+    merged_hits: int = 0
+    elapsed_seconds: float = 0.0
+    _started_at: float = field(default=0.0, repr=False)
+
+    # -- recording -----------------------------------------------------------
+
+    def start_timer(self) -> None:
+        """Begin timing the run (idempotent; call once at generator entry)."""
+        self._started_at = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        """Record elapsed wall time since :meth:`start_timer`."""
+        if self._started_at:
+            self.elapsed_seconds = time.perf_counter() - self._started_at
+
+    def record_node(self) -> None:
+        """Count one node creation."""
+        self.nodes_created += 1
+
+    def record_edge(self) -> None:
+        """Count one edge creation."""
+        self.edges_created += 1
+
+    def record_terminal(self, kind: str) -> None:
+        """Count one terminal node of ``kind``."""
+        self.terminals[kind] = self.terminals.get(kind, 0) + 1
+
+    def record_prune(self, pruner_name: str, count: int = 1) -> None:
+        """Count ``count`` subtrees cut by the named pruning strategy."""
+        self.prune_events[pruner_name] = self.prune_events.get(pruner_name, 0) + count
+
+    def record_merge(self) -> None:
+        """Count one status-merge hit (DAG mode only)."""
+        self.merged_hits += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def total_prunes(self) -> int:
+        """Total prune events across all strategies."""
+        return sum(self.prune_events.values())
+
+    def prune_share(self, pruner_name: str) -> float:
+        """Fraction of prune events attributed to one strategy
+        (the §5.2 82%/18% split)."""
+        total = self.total_prunes
+        if total == 0:
+            return 0.0
+        return self.prune_events.get(pruner_name, 0) / total
+
+    def terminal_count(self, kind: str) -> int:
+        """Number of terminals of ``kind``."""
+        return self.terminals.get(kind, 0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot."""
+        return {
+            "nodes_created": self.nodes_created,
+            "edges_created": self.edges_created,
+            "terminals": dict(self.terminals),
+            "prune_events": dict(self.prune_events),
+            "merged_hits": self.merged_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        terminals = ", ".join(f"{k}={v}" for k, v in sorted(self.terminals.items()))
+        prunes = ", ".join(f"{k}={v}" for k, v in sorted(self.prune_events.items()))
+        return (
+            f"{self.nodes_created} nodes, {self.edges_created} edges, "
+            f"terminals[{terminals or '-'}], prunes[{prunes or '-'}], "
+            f"{self.elapsed_seconds:.3f}s"
+        )

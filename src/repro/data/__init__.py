@@ -1,0 +1,63 @@
+"""Synthetic registrar data.
+
+The paper evaluates on 38 Brandeis Computer Science courses, their class
+schedules through Fall '15, and anonymized student transcripts — none of
+which are public.  This package provides faithful synthetic substitutes
+(documented in DESIGN.md §4):
+
+* :mod:`repro.data.brandeis` — a 38-course CS catalog with a realistic
+  prerequisite DAG, yearly/alternating schedules spanning Spring '11 –
+  Fall '15, the 7-core + 5-elective major goal, and a historical offering
+  model for reliability ranking.
+* :mod:`repro.data.generator` — seeded random catalogs of arbitrary size
+  (layered prerequisite DAGs), used by property tests and ablations.
+* :mod:`repro.data.transcripts` — a stochastic student-behaviour simulator
+  producing "actual" learning paths for the §5.2 containment experiment.
+"""
+
+from .brandeis import (
+    CORE_COURSE_IDS,
+    ELECTIVE_COURSE_IDS,
+    EVALUATION_END_TERM,
+    brandeis_catalog,
+    brandeis_major_goal,
+    brandeis_offering_model,
+    start_term_for_semesters,
+)
+from .generator import GeneratorSettings, random_catalog, random_course_set_goal
+from .policies import (
+    HeaviestLoadPolicy,
+    LightLoadPolicy,
+    RequirementsSeekingPolicy,
+    SelectionPolicy,
+    UniformRandomPolicy,
+)
+from .transcripts import SimulatedStudentBody, simulate_transcripts
+from .trimester import (
+    LAKESIDE_CALENDAR,
+    lakeside_catalog,
+    lakeside_minor_goal,
+)
+
+__all__ = [
+    "brandeis_catalog",
+    "brandeis_major_goal",
+    "brandeis_offering_model",
+    "start_term_for_semesters",
+    "CORE_COURSE_IDS",
+    "ELECTIVE_COURSE_IDS",
+    "EVALUATION_END_TERM",
+    "GeneratorSettings",
+    "random_catalog",
+    "random_course_set_goal",
+    "SimulatedStudentBody",
+    "simulate_transcripts",
+    "SelectionPolicy",
+    "RequirementsSeekingPolicy",
+    "UniformRandomPolicy",
+    "HeaviestLoadPolicy",
+    "LightLoadPolicy",
+    "lakeside_catalog",
+    "lakeside_minor_goal",
+    "LAKESIDE_CALENDAR",
+]

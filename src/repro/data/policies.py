@@ -1,0 +1,138 @@
+"""Student selection policies for transcript simulation.
+
+The §5.2 substitution simulates students; *how* a student picks courses
+shapes the transcripts. The containment experiment only needs feasible
+paths, but richer studies (graduation-rate sensitivity, how much
+guidance helps) want different behavioural archetypes side by side.
+A :class:`SelectionPolicy` chooses one selection from a status's options;
+:func:`repro.data.transcripts.simulate_transcripts` accepts any of them.
+
+Built-in archetypes:
+
+* :class:`RequirementsSeekingPolicy` — the default: weighted toward
+  unmet requirement groups, mostly full loads (what an advised student
+  does).
+* :class:`UniformRandomPolicy` — no plan at all: a uniformly random
+  legal selection (the pessimistic baseline).
+* :class:`HeaviestLoadPolicy` — always takes the maximum number of
+  courses, goal-weighted (the overachiever).
+* :class:`LightLoadPolicy` — one or two courses a term, goal-weighted
+  (the part-time student).
+
+All policies draw only from the caller-provided RNG, so simulations stay
+reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..graph.status import EnrollmentStatus
+from ..requirements import DegreeGoal, Goal
+
+__all__ = [
+    "SelectionPolicy",
+    "RequirementsSeekingPolicy",
+    "UniformRandomPolicy",
+    "HeaviestLoadPolicy",
+    "LightLoadPolicy",
+]
+
+
+class SelectionPolicy:
+    """Abstract per-term course-choice behaviour."""
+
+    #: Identifier used in reports.
+    name: str = "policy"
+
+    def choose(
+        self,
+        rng: random.Random,
+        status: EnrollmentStatus,
+        goal: Goal,
+        max_per_term: int,
+    ) -> Tuple[str, ...]:
+        """Pick a non-empty selection from ``status.options``.
+
+        Only called when options exist; must return between 1 and
+        ``max_per_term`` course ids drawn from the options.
+        """
+        raise NotImplementedError
+
+
+def _goal_weight(course_id: str, goal: Goal, assignment: Optional[dict]) -> float:
+    """Shared heuristic appeal of a course to a goal-aware student."""
+    if isinstance(goal, DegreeGoal) and assignment is not None:
+        for group in goal.groups:
+            if course_id in group.course_ids:
+                filled = sum(1 for g in assignment.values() if g == group.name)
+                if filled < group.required:
+                    return 10.0 if group.required == len(group.course_ids) else 5.0
+                return 1.5
+        return 1.0
+    if course_id in goal.courses():
+        return 8.0
+    return 1.0
+
+
+def _weighted_pick(
+    rng: random.Random,
+    status: EnrollmentStatus,
+    goal: Goal,
+    size: int,
+) -> Tuple[str, ...]:
+    assignment = (
+        goal.assignment(status.completed) if isinstance(goal, DegreeGoal) else None
+    )
+    pool: List[str] = sorted(status.options)
+    chosen: List[str] = []
+    while pool and len(chosen) < size:
+        weights = [_goal_weight(cid, goal, assignment) for cid in pool]
+        index = rng.choices(range(len(pool)), weights=weights, k=1)[0]
+        chosen.append(pool.pop(index))
+    return tuple(sorted(chosen))
+
+
+class RequirementsSeekingPolicy(SelectionPolicy):
+    """Default archetype: goal-weighted picks, load skewed toward full."""
+
+    name = "requirements-seeking"
+
+    def choose(self, rng, status, goal, max_per_term):
+        cap = min(len(status.options), max_per_term)
+        sizes = list(range(1, cap + 1))
+        size = rng.choices(sizes, weights=[s * s for s in sizes], k=1)[0]
+        return _weighted_pick(rng, status, goal, size)
+
+
+class UniformRandomPolicy(SelectionPolicy):
+    """No plan: a uniformly random size and a uniformly random subset."""
+
+    name = "uniform-random"
+
+    def choose(self, rng, status, goal, max_per_term):
+        options = sorted(status.options)
+        size = rng.randint(1, min(len(options), max_per_term))
+        return tuple(sorted(rng.sample(options, k=size)))
+
+
+class HeaviestLoadPolicy(SelectionPolicy):
+    """Always take the full permitted load, goal-weighted."""
+
+    name = "heaviest-load"
+
+    def choose(self, rng, status, goal, max_per_term):
+        size = min(len(status.options), max_per_term)
+        return _weighted_pick(rng, status, goal, size)
+
+
+class LightLoadPolicy(SelectionPolicy):
+    """One or two courses a term, goal-weighted (part-time)."""
+
+    name = "light-load"
+
+    def choose(self, rng, status, goal, max_per_term):
+        cap = min(len(status.options), max_per_term, 2)
+        size = rng.randint(1, cap)
+        return _weighted_pick(rng, status, goal, size)

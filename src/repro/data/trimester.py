@@ -1,0 +1,98 @@
+"""A second synthetic dataset: a trimester school with summer sessions.
+
+The paper's evaluation uses a two-season calendar; nothing in the model
+requires that, and this dataset proves it end-to-end: "Lakeside College"
+runs a Spring/Summer/Fall calendar
+(:data:`repro.semester.SPRING_SUMMER_FALL`), offers an accelerated summer
+track, and defines a data-science **minor** (3 core + 2 of 4 electives).
+
+Besides being a realistic fixture for calendar-generality tests, it
+showcases what summer sessions do to learning paths: chains that need
+three long semesters compress into a single calendar year when the
+student attends summers, which the example/test suite quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ..catalog import Catalog, Course, Schedule
+from ..catalog.prereq import TRUE, CourseReq, requires
+from ..requirements import DegreeGoal
+from ..semester import SPRING_SUMMER_FALL, Term, term_range
+
+__all__ = [
+    "lakeside_catalog",
+    "lakeside_minor_goal",
+    "LAKESIDE_CALENDAR",
+    "LAKESIDE_FIRST_TERM",
+    "LAKESIDE_LAST_TERM",
+    "CORE_MINOR_IDS",
+    "ELECTIVE_MINOR_IDS",
+]
+
+#: Lakeside's academic calendar: three terms a year.
+LAKESIDE_CALENDAR = SPRING_SUMMER_FALL
+
+#: First scheduled term.
+LAKESIDE_FIRST_TERM = Term(2020, "Spring", LAKESIDE_CALENDAR)
+
+#: Last scheduled term.
+LAKESIDE_LAST_TERM = Term(2022, "Fall", LAKESIDE_CALENDAR)
+
+# (course id, title, prereq builder, seasons offered, weekly hours, tag)
+_ROWS = (
+    ("DATA 101", "Thinking with Data",        TRUE,                               ("Spring", "Summer", "Fall"), 8.0,  "core"),
+    ("DATA 102", "Data Wrangling",            CourseReq("DATA 101"),              ("Spring", "Summer", "Fall"), 10.0, "core"),
+    ("DATA 201", "Statistical Inference",     CourseReq("DATA 102"),              ("Spring", "Fall"),           12.0, "core"),
+    ("DATA 210", "Data Visualization",        CourseReq("DATA 102"),              ("Summer", "Fall"),           8.0,  "elective"),
+    ("DATA 220", "Databases for Analysts",    CourseReq("DATA 102"),              ("Spring",),                  10.0, "elective"),
+    ("DATA 230", "Machine Learning Basics",   requires("DATA 201"),               ("Fall",),                    14.0, "elective"),
+    ("DATA 240", "Ethics of Data",            TRUE,                               ("Spring", "Summer"),         6.0,  "elective"),
+    ("MATH 110", "Calculus I",                TRUE,                               ("Spring", "Fall"),           12.0, "support"),
+    ("MATH 120", "Linear Algebra",            CourseReq("MATH 110"),              ("Spring", "Fall"),           12.0, "support"),
+    ("WRIT 100", "College Writing",           TRUE,                               ("Spring", "Summer", "Fall"), 6.0,  "support"),
+)
+
+#: Core courses of the minor.
+CORE_MINOR_IDS: FrozenSet[str] = frozenset(
+    row[0] for row in _ROWS if row[5] == "core"
+)
+
+#: Elective pool of the minor.
+ELECTIVE_MINOR_IDS: FrozenSet[str] = frozenset(
+    row[0] for row in _ROWS if row[5] == "elective"
+)
+
+
+def _schedule() -> Schedule:
+    offerings: Dict[str, FrozenSet[Term]] = {}
+    for course_id, _title, _prereq, seasons, _hours, _tag in _ROWS:
+        offerings[course_id] = frozenset(
+            term
+            for term in term_range(LAKESIDE_FIRST_TERM, LAKESIDE_LAST_TERM)
+            if term.season in seasons
+        )
+    return Schedule(offerings)
+
+
+def lakeside_catalog() -> Catalog:
+    """The 10-course trimester catalog (deterministic)."""
+    courses = [
+        Course(
+            course_id=course_id,
+            title=title,
+            prereq=prereq,
+            workload_hours=hours,
+            tags=frozenset({tag}),
+        )
+        for course_id, title, prereq, _seasons, hours, tag in _ROWS
+    ]
+    return Catalog(courses, schedule=_schedule())
+
+
+def lakeside_minor_goal(electives_required: int = 2) -> DegreeGoal:
+    """The data-science minor: all 3 core + 2 of 4 electives."""
+    return DegreeGoal.from_core_electives(
+        CORE_MINOR_IDS, ELECTIVE_MINOR_IDS, electives_required, name="DS minor"
+    )

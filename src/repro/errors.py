@@ -1,0 +1,111 @@
+"""Exception hierarchy for the CourseNavigator reproduction.
+
+All library-raised exceptions derive from :class:`CourseNavigatorError` so
+callers can catch everything the library raises with a single ``except``
+clause while still distinguishing failure classes when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CourseNavigatorError",
+    "CatalogError",
+    "UnknownCourseError",
+    "DuplicateCourseError",
+    "ParseError",
+    "PrerequisiteParseError",
+    "ScheduleParseError",
+    "GoalError",
+    "ExplorationError",
+    "BudgetExceededError",
+    "InvalidConfigError",
+]
+
+
+class CourseNavigatorError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class CatalogError(CourseNavigatorError):
+    """A problem with catalog contents (courses, schedules, references)."""
+
+
+class UnknownCourseError(CatalogError, KeyError):
+    """A course id was referenced that the catalog does not contain.
+
+    Inherits from :class:`KeyError` so mapping-style lookups behave naturally.
+    """
+
+    def __init__(self, course_id: str, context: str = ""):
+        self.course_id = course_id
+        self.context = context
+        message = f"unknown course {course_id!r}"
+        if context:
+            message = f"{message} ({context})"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ repr-quotes its arg
+        return self.args[0]
+
+
+class DuplicateCourseError(CatalogError):
+    """The same course id was added to a catalog twice."""
+
+    def __init__(self, course_id: str):
+        self.course_id = course_id
+        super().__init__(f"duplicate course {course_id!r}")
+
+
+class ParseError(CourseNavigatorError, ValueError):
+    """Base class for registrar-input parsing failures.
+
+    Carries the offending text and position so front-ends can point at the
+    exact spot that failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        elif text:
+            message = f"{message} (in {text!r})"
+        super().__init__(message)
+
+
+class PrerequisiteParseError(ParseError):
+    """A prerequisite description string could not be parsed."""
+
+
+class ScheduleParseError(ParseError):
+    """A schedule table row or term name could not be parsed."""
+
+
+class GoalError(CourseNavigatorError):
+    """A goal requirement is malformed or cannot be evaluated."""
+
+
+class ExplorationError(CourseNavigatorError):
+    """A path-generation run was misconfigured or failed."""
+
+
+class BudgetExceededError(ExplorationError):
+    """An exploration exceeded its node/path/time budget.
+
+    The paper's deadline-driven algorithm exhausts memory beyond five
+    semesters; this exception is the library's controlled equivalent of that
+    failure mode.  Attributes record what was exceeded so harnesses (and the
+    Table 2 benchmark) can report ``N/A`` rows faithfully.
+    """
+
+    def __init__(self, kind: str, limit: float, observed: float):
+        self.kind = kind
+        self.limit = limit
+        self.observed = observed
+        super().__init__(
+            f"exploration budget exceeded: {kind} limit {limit} reached (observed {observed})"
+        )
+
+
+class InvalidConfigError(ExplorationError, ValueError):
+    """An :class:`~repro.core.config.ExplorationConfig` field is invalid."""

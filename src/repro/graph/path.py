@@ -1,0 +1,168 @@
+"""Learning paths and their cost metrics.
+
+A :class:`LearningPath` is the paper's ``p_i``: a time-ordered sequence of
+enrollment statuses connected by course selections.  The class also carries
+the three path costs of §4.3.1 — length (time ranking), total workload
+(workload ranking), and offering-probability product (reliability ranking)
+— so ranked exploration, benchmarks, and front-ends all price paths the
+same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from ..semester import Term
+from .status import EnrollmentStatus
+
+if TYPE_CHECKING:  # imported only for type checking to avoid cycles
+    from ..catalog import Catalog, OfferingModel
+
+__all__ = ["LearningPath"]
+
+
+class LearningPath:
+    """An immutable root-to-leaf path through a learning graph.
+
+    ``statuses`` has one more element than ``selections``: the path visits
+    ``statuses[0] --selections[0]--> statuses[1] --…--> statuses[-1]``.
+    """
+
+    __slots__ = ("_statuses", "_selections")
+
+    def __init__(
+        self,
+        statuses: Sequence[EnrollmentStatus],
+        selections: Sequence[FrozenSet[str]],
+    ):
+        statuses = tuple(statuses)
+        selections = tuple(frozenset(s) for s in selections)
+        if not statuses:
+            raise ValueError("a path needs at least one status")
+        if len(selections) != len(statuses) - 1:
+            raise ValueError(
+                f"{len(statuses)} statuses need {len(statuses) - 1} selections, "
+                f"got {len(selections)}"
+            )
+        for i, selection in enumerate(selections):
+            if statuses[i + 1].term != statuses[i].term + 1:
+                raise ValueError(
+                    f"statuses must advance one term per step "
+                    f"({statuses[i].term} -> {statuses[i + 1].term})"
+                )
+            if statuses[i + 1].completed != statuses[i].completed | selection:
+                raise ValueError(
+                    f"step {i}: completed set must grow by exactly the selection"
+                )
+        self._statuses = statuses
+        self._selections = selections
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def statuses(self) -> Tuple[EnrollmentStatus, ...]:
+        """All visited statuses, start first."""
+        return self._statuses
+
+    @property
+    def selections(self) -> Tuple[FrozenSet[str], ...]:
+        """Per-term selections ``W_{i,i+1}`` (one per transition)."""
+        return self._selections
+
+    @property
+    def start(self) -> EnrollmentStatus:
+        """The start status ``n_a``."""
+        return self._statuses[0]
+
+    @property
+    def end(self) -> EnrollmentStatus:
+        """The final status (a goal or end-semester node)."""
+        return self._statuses[-1]
+
+    def __len__(self) -> int:
+        """Number of transitions (semesters elapsed)."""
+        return len(self._selections)
+
+    def __iter__(self) -> Iterator[Tuple[Term, FrozenSet[str]]]:
+        """Yield ``(term, selection)`` pairs in order."""
+        for status, selection in zip(self._statuses, self._selections):
+            yield status.term, selection
+
+    def courses_taken(self) -> FrozenSet[str]:
+        """Every course elected anywhere along the path."""
+        return self.end.completed - self.start.completed
+
+    def steps(self) -> List[Tuple[Term, Tuple[str, ...]]]:
+        """``(term, sorted selection)`` pairs — the plan a student reads."""
+        return [(term, tuple(sorted(sel))) for term, sel in self]
+
+    def extended(
+        self, selection: FrozenSet[str], status: EnrollmentStatus
+    ) -> "LearningPath":
+        """A new path with one more transition appended."""
+        return LearningPath(self._statuses + (status,), self._selections + (frozenset(selection),))
+
+    # -- §4.3.1 cost metrics -------------------------------------------------
+
+    def length_cost(self) -> int:
+        """Time-based ranking cost: number of semesters (edges cost 1)."""
+        return len(self._selections)
+
+    def workload_cost(self, catalog: "Catalog") -> float:
+        """Workload ranking cost: sum of ``w(c)`` over all elected courses."""
+        return sum(
+            catalog[course_id].workload_hours
+            for selection in self._selections
+            for course_id in selection
+        )
+
+    def reliability(self, model: "OfferingModel") -> float:
+        """Reliability ranking score: product over edges of the probability
+        that every course in that edge's selection is offered."""
+        result = 1.0
+        for term, selection in self:
+            result *= model.selection_probability(selection, term)
+        return result
+
+    def reliability_cost(self, model: "OfferingModel") -> float:
+        """Reliability as a non-negative additive cost: ``−log reliability``.
+
+        Monotone in path prefix (probabilities ≤ 1), which is what best-first
+        search needs for Lemma 2 to hold.
+        """
+        reliability = self.reliability(model)
+        if reliability <= 0.0:
+            return math.inf
+        return -math.log(reliability)
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LearningPath):
+            return (
+                self._selections == other._selections
+                and self._statuses[0] == other._statuses[0]
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._statuses[0], self._selections))
+
+    def __repr__(self) -> str:
+        plan = "; ".join(
+            f"{term.short}: {','.join(sorted(sel)) or '-'}" for term, sel in self
+        )
+        return f"LearningPath({plan})"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable rendering (terms as strings)."""
+        return {
+            "start_term": str(self.start.term),
+            "initial_completed": sorted(self.start.completed),
+            "steps": [
+                {"term": str(term), "take": sorted(selection)}
+                for term, selection in self
+            ],
+            "final_completed": sorted(self.end.completed),
+        }

@@ -1,0 +1,84 @@
+"""The enrollment status — a learning-graph node's payload.
+
+Per Section 2, a status is ``(s_i, X_i, Y_i)``: the semester, the completed
+course set, and the derived option set.  Two statuses are *the same state*
+when their semester and completed set coincide — ``Y`` is a function of
+those two given a fixed catalog/schedule — so equality and hashing ignore
+``options``.  That identification is what lets
+:class:`~repro.graph.dag.MergedStatusDag` collapse the paper's out-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from ..semester import Term
+
+__all__ = ["EnrollmentStatus"]
+
+
+@dataclass(frozen=True)
+class EnrollmentStatus:
+    """A student's state at the start of one semester.
+
+    Attributes
+    ----------
+    term:
+        The semester ``s_i``.
+    completed:
+        ``X_i`` — ids of courses completed before ``term``.
+    options:
+        ``Y_i`` — ids of courses the student may elect in ``term``
+        (offered now, prerequisites met, not yet completed).  Derived data:
+        excluded from equality and hashing.
+    """
+
+    term: Term
+    completed: FrozenSet[str]
+    options: FrozenSet[str] = field(default=frozenset(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.completed, frozenset):
+            object.__setattr__(self, "completed", frozenset(self.completed))
+        if not isinstance(self.options, frozenset):
+            object.__setattr__(self, "options", frozenset(self.options))
+        overlap = self.completed & self.options
+        if overlap:
+            raise ValueError(
+                f"options may not include completed courses: {sorted(overlap)}"
+            )
+
+    @property
+    def key(self) -> Tuple[Term, FrozenSet[str]]:
+        """The identity ``(term, completed)`` used for status merging."""
+        return (self.term, self.completed)
+
+    def after_selection(
+        self, selection: FrozenSet[str], options: FrozenSet[str] = frozenset()
+    ) -> "EnrollmentStatus":
+        """The successor status after electing ``selection`` this term.
+
+        Implements the paper's transition: ``s_{i+1} = s_i + 1`` and
+        ``X_{i+1} = X_i ∪ W_{i,i+1}``.  ``selection`` must come from the
+        current options.
+        """
+        selection = frozenset(selection)
+        if not selection <= self.options:
+            raise ValueError(
+                f"selection {sorted(selection - self.options)} not in options"
+            )
+        return EnrollmentStatus(
+            term=self.term + 1,
+            completed=self.completed | selection,
+            options=frozenset(options),
+        )
+
+    def describe(self) -> str:
+        """A compact single-line rendering (for logs and the visualizer)."""
+        completed = ", ".join(sorted(self.completed)) or "∅"
+        options = ", ".join(sorted(self.options)) or "∅"
+        return f"{self.term.short}  X={{{completed}}}  Y={{{options}}}"
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,34 @@
+"""Registrar-input parsers (the paper's back-end, Fig. 2).
+
+The system model feeds two registrar artifacts through parsers before any
+path generation happens:
+
+* the **Prerequisite Parser** turns catalog prose like
+  ``"COSI 11a and (COSI 21a or COSI 22b)"`` into a
+  :class:`~repro.catalog.prereq.PrereqExpr` (``Q_i``), and
+* the **Schedule Parser** turns schedule tables into a
+  :class:`~repro.catalog.schedule.Schedule` (``S_i``).
+
+:mod:`repro.parsing.catalog_io` adds JSON round-tripping for whole catalogs
+and a convenience builder that runs both parsers over raw registrar text.
+"""
+
+from .prereq_parser import parse_prerequisites
+from .schedule_parser import parse_schedule_csv, parse_schedule_lines, parse_schedule_text
+from .catalog_io import (
+    build_catalog_from_registrar,
+    load_catalog,
+    load_catalog_json,
+    save_catalog,
+)
+
+__all__ = [
+    "parse_prerequisites",
+    "parse_schedule_text",
+    "parse_schedule_lines",
+    "parse_schedule_csv",
+    "load_catalog",
+    "load_catalog_json",
+    "save_catalog",
+    "build_catalog_from_registrar",
+]

@@ -1,0 +1,327 @@
+"""The Prerequisite Parser (paper Fig. 2, back-end).
+
+Parses registrar catalog prose into a
+:class:`~repro.catalog.prereq.PrereqExpr`.  The grammar covers the shapes
+that actually occur in course descriptions:
+
+.. code-block:: text
+
+    expr    :=  or_expr
+    or_expr :=  and_expr ( OR and_expr )*
+    and_expr:=  atom ( (AND | ',') atom )*
+    atom    :=  '(' expr ')'
+            |   INT OF '[' expr (',' expr)* ']'
+            |   NONE | NEVER
+            |   COURSE-ID
+
+with the conventions registrar text uses:
+
+* Keywords are case-insensitive (``and``/``AND``, ``or``/``OR`` …).
+* A course id may contain internal spaces (``COSI 11a``): consecutive
+  word tokens merge into a single id.
+* A bare comma between atoms reads as **AND** — registrar lists like
+  ``"COSI 11a, COSI 12b and COSI 21a"`` are conjunctions.  Inside
+  ``k OF [...]`` brackets the comma separates alternatives instead.
+* A leading ``Prerequisite:`` / ``Prerequisites:`` / ``Prereq:`` label is
+  stripped.
+* The ubiquitous escape hatch ``"... or permission of the instructor"`` is
+  controlled by ``instructor_permission``: ``"ignore"`` (default) drops that
+  disjunct, ``"true"`` treats it as satisfied (making the whole condition
+  trivially true), ``"error"`` raises.
+
+Raises :class:`~repro.errors.PrerequisiteParseError` with the failing
+position on malformed input.  ``parse_prerequisites(expr.to_string())``
+round-trips for every expression the AST can print (property-tested).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..catalog.prereq import (
+    FALSE,
+    TRUE,
+    CourseReq,
+    KOf,
+    PrereqExpr,
+    all_of,
+    any_of,
+)
+from ..errors import PrerequisiteParseError
+
+__all__ = ["parse_prerequisites"]
+
+
+_LABEL_RE = re.compile(r"^\s*prereq(uisite)?s?\s*:\s*", re.IGNORECASE)
+_PERMISSION_RE = re.compile(
+    r"(permission|consent)\s+of\s+(the\s+)?(instructor|department|chair)"
+    r"|instructor'?s?\s+(permission|consent)",
+    re.IGNORECASE,
+)
+
+_KEYWORDS = {"and", "or", "of", "none", "never"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'word', 'int', 'lparen', 'rparen', 'lbracket', 'rbracket', 'comma'
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<semicolon>;)
+  | (?P<word>[A-Za-z0-9][A-Za-z0-9._\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PrerequisiteParseError(
+                f"unexpected character {text[position]!r}", text=text, position=position
+            )
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        if kind == "semicolon":
+            # Registrars use ';' as a strong conjunction separator.
+            tokens.append(_Token("word", "and", match.start()))
+            continue
+        value = match.group(kind)
+        if kind == "word" and value.isdigit():
+            kind = "int"
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise PrerequisiteParseError(
+                "unexpected end of input", text=self._text, position=len(self._text)
+            )
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            position = token.position if token else len(self._text)
+            found = token.text if token else "end of input"
+            raise PrerequisiteParseError(
+                f"expected {kind}, found {found!r}", text=self._text, position=position
+            )
+        return self._advance()
+
+    def _at_keyword(self, *names: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "word"
+            and token.text.lower() in names
+        )
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> PrereqExpr:
+        expr = self._or_expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise PrerequisiteParseError(
+                f"unexpected trailing input {leftover.text!r}",
+                text=self._text,
+                position=leftover.position,
+            )
+        return expr
+
+    def _or_expr(self) -> PrereqExpr:
+        parts = [self._and_expr()]
+        while self._at_keyword("or"):
+            self._advance()
+            parts.append(self._and_expr())
+        return any_of(parts)
+
+    def _and_expr(self, comma_joins: bool = True) -> PrereqExpr:
+        parts = [self._atom()]
+        while True:
+            if self._at_keyword("and"):
+                self._advance()
+                # tolerate "…, and X" — the comma grammar may already have
+                # consumed the comma, and "and" may follow a comma directly
+                parts.append(self._atom())
+            elif comma_joins and self._peek() is not None and self._peek().kind == "comma":
+                # Lookahead: a comma inside "k OF [...]" is handled by the
+                # bracket rule; here, a comma is a conjunction separator.
+                self._advance()
+                if self._at_keyword("and", "or"):
+                    connective = self._advance().text.lower()
+                    rest = self._atom()
+                    if connective == "or":
+                        # "a, b, or c" — the final connective retroactively
+                        # applies to the whole list per registrar convention.
+                        return any_of([all_of(parts), rest])
+                    parts.append(rest)
+                else:
+                    parts.append(self._atom())
+            else:
+                break
+        return all_of(parts)
+
+    def _atom(self) -> PrereqExpr:
+        token = self._peek()
+        if token is None:
+            raise PrerequisiteParseError(
+                "expected a course or '('", text=self._text, position=len(self._text)
+            )
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._or_expr()
+            self._expect("rparen")
+            return inner
+        if token.kind == "int":
+            return self._kof()
+        if token.kind == "word":
+            lowered = token.text.lower()
+            if lowered == "none":
+                self._advance()
+                return TRUE
+            if lowered == "never":
+                self._advance()
+                return FALSE
+            if lowered in _KEYWORDS:
+                raise PrerequisiteParseError(
+                    f"unexpected keyword {token.text!r}",
+                    text=self._text,
+                    position=token.position,
+                )
+            return self._course()
+        raise PrerequisiteParseError(
+            f"unexpected {token.text!r}", text=self._text, position=token.position
+        )
+
+    def _kof(self) -> PrereqExpr:
+        count_token = self._expect("int")
+        k = int(count_token.text)
+        if not self._at_keyword("of"):
+            raise PrerequisiteParseError(
+                f"expected 'OF' after {k}", text=self._text, position=count_token.position
+            )
+        self._advance()
+        self._expect("lbracket")
+        alternatives = [self._bracket_item()]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._advance()
+            alternatives.append(self._bracket_item())
+        self._expect("rbracket")
+        return KOf(k, alternatives)
+
+    def _bracket_item(self) -> PrereqExpr:
+        # Inside brackets, commas separate items, so the and-rule must not
+        # swallow them.
+        parts = [self._atom()]
+        while True:
+            if self._at_keyword("and"):
+                self._advance()
+                parts.append(self._atom())
+            elif self._at_keyword("or"):
+                self._advance()
+                return any_of([all_of(parts), self._bracket_item()])
+            else:
+                break
+        return all_of(parts)
+
+    def _course(self) -> PrereqExpr:
+        words = [self._advance().text]
+        while True:
+            token = self._peek()
+            if (
+                token is not None
+                and token.kind in ("word", "int")
+                and (token.kind != "word" or token.text.lower() not in _KEYWORDS)
+            ):
+                words.append(self._advance().text)
+            else:
+                break
+        return CourseReq(" ".join(words))
+
+
+def parse_prerequisites(
+    text: str, instructor_permission: str = "ignore"
+) -> PrereqExpr:
+    """Parse a registrar prerequisite description into a ``PrereqExpr``.
+
+    Parameters
+    ----------
+    text:
+        The prose, e.g. ``"Prerequisites: COSI 11a and (COSI 21a or COSI
+        22b)"``.  Empty / whitespace-only text (or the words ``none`` /
+        ``NONE``) means "no prerequisites" and yields :data:`TRUE`.
+    instructor_permission:
+        How to treat an ``"or permission of the instructor"`` clause:
+        ``"ignore"`` (default) removes it, ``"true"`` replaces it with
+        :data:`TRUE` (making the whole condition satisfied), ``"error"``
+        raises :class:`~repro.errors.PrerequisiteParseError`.
+
+    Raises
+    ------
+    PrerequisiteParseError
+        On malformed input, with the failing position.
+    """
+    if instructor_permission not in ("ignore", "true", "error"):
+        raise ValueError(
+            f"instructor_permission must be ignore/true/error, got {instructor_permission!r}"
+        )
+    stripped = _LABEL_RE.sub("", text or "").strip().rstrip(".")
+    if not stripped:
+        return TRUE
+
+    permission_clause_present = bool(_PERMISSION_RE.search(stripped))
+    if permission_clause_present:
+        if instructor_permission == "error":
+            raise PrerequisiteParseError(
+                "instructor-permission clause present", text=text
+            )
+        replacement = " NONE " if instructor_permission == "true" else " NEVER "
+        stripped = _PERMISSION_RE.sub(replacement, stripped)
+        # "ignore" maps the clause to NEVER so `any_of` drops the disjunct;
+        # if the clause was the *whole* condition, fall back to TRUE below.
+
+    tokens = _tokenize(stripped)
+    if not tokens:
+        return TRUE
+    result = _Parser(tokens, stripped).parse()
+    if result == FALSE and permission_clause_present and instructor_permission == "ignore":
+        # The condition consisted solely of the permission clause.
+        return TRUE
+    return result

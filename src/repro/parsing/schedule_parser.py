@@ -1,0 +1,144 @@
+"""The Schedule Parser (paper Fig. 2, back-end).
+
+Turns registrar schedule tables into a
+:class:`~repro.catalog.schedule.Schedule`.  Two common shapes are accepted:
+
+* **Line format** — one course per line, id separated from a comma- or
+  semicolon-separated term list by ``:``, ``|`` or a tab::
+
+      COSI 11a: Fall 2011, Spring 2012, Fall 2012
+      COSI 21a | Spring '12
+
+* **CSV format** — one ``(course, term)`` offering per row, with an optional
+  header::
+
+      course_id,term
+      COSI 11a,Fall 2011
+      COSI 11a,Spring 2012
+
+Blank lines and ``#`` comments are skipped in both formats.  Term names go
+through :meth:`repro.semester.Term.parse`, so every spelling that accepts
+(``Fall 2011``, ``Fall '11``, ``F11`` …) works here too.  Errors raise
+:class:`~repro.errors.ScheduleParseError` with the offending line number.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..catalog.schedule import Schedule
+from ..errors import ScheduleParseError
+from ..semester import AcademicCalendar, SPRING_FALL, Term
+
+__all__ = ["parse_schedule_text", "parse_schedule_lines", "parse_schedule_csv"]
+
+
+_SEPARATOR_RE = re.compile(r"[:|\t]")
+
+
+def _strip_comment(line: str) -> str:
+    hash_index = line.find("#")
+    if hash_index >= 0:
+        return line[:hash_index]
+    return line
+
+
+def parse_schedule_lines(
+    lines: Iterable[str], calendar: AcademicCalendar = SPRING_FALL
+) -> Schedule:
+    """Parse line-format schedule rows (see module docstring).
+
+    Repeated course lines merge their term sets.
+    """
+    offerings: Dict[str, Set[Term]] = {}
+    for line_number, raw in enumerate(lines, start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        pieces = _SEPARATOR_RE.split(line, maxsplit=1)
+        if len(pieces) != 2:
+            raise ScheduleParseError(
+                f"line {line_number}: expected 'COURSE: term, term, ...'", text=raw
+            )
+        course_id, term_list = pieces[0].strip(), pieces[1]
+        if not course_id:
+            raise ScheduleParseError(f"line {line_number}: empty course id", text=raw)
+        terms = offerings.setdefault(course_id, set())
+        for chunk in re.split(r"[,;]", term_list):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                terms.add(Term.parse(chunk, calendar))
+            except ScheduleParseError as exc:
+                raise ScheduleParseError(
+                    f"line {line_number}: bad term {chunk!r}", text=raw
+                ) from exc
+    return Schedule(offerings)
+
+
+def parse_schedule_text(
+    text: str, calendar: AcademicCalendar = SPRING_FALL
+) -> Schedule:
+    """Parse a whole line-format schedule document."""
+    return parse_schedule_lines(text.splitlines(), calendar)
+
+
+def _looks_like_header(row: List[str]) -> bool:
+    if len(row) < 2:
+        return False
+    first, second = row[0].strip().lower(), row[1].strip().lower()
+    return first in ("course", "course_id", "courseid", "id") and second in (
+        "term",
+        "semester",
+        "offered",
+    )
+
+
+def parse_schedule_csv(
+    text: str, calendar: AcademicCalendar = SPRING_FALL
+) -> Schedule:
+    """Parse CSV-format schedule rows (``course_id,term`` per offering)."""
+    offerings: Dict[str, Set[Term]] = {}
+    reader = csv.reader(io.StringIO(text))
+    for row_number, row in enumerate(reader, start=1):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if row[0].lstrip().startswith("#"):
+            continue
+        if row_number == 1 and _looks_like_header(row):
+            continue
+        if len(row) < 2:
+            raise ScheduleParseError(
+                f"row {row_number}: expected course_id,term", text=",".join(row)
+            )
+        course_id = row[0].strip()
+        term_text = row[1].strip()
+        if not course_id or not term_text:
+            raise ScheduleParseError(
+                f"row {row_number}: empty course id or term", text=",".join(row)
+            )
+        try:
+            term = Term.parse(term_text, calendar)
+        except ScheduleParseError as exc:
+            raise ScheduleParseError(
+                f"row {row_number}: bad term {term_text!r}", text=",".join(row)
+            ) from exc
+        offerings.setdefault(course_id, set()).add(term)
+    return Schedule(offerings)
+
+
+def schedule_to_rows(schedule: Schedule) -> List[Tuple[str, str]]:
+    """Flatten a schedule back into sorted ``(course_id, term)`` rows.
+
+    Useful for writing registrar-style CSV exports; the output round-trips
+    through :func:`parse_schedule_csv`.
+    """
+    rows: List[Tuple[str, str]] = []
+    for course_id in sorted(schedule.course_ids()):
+        for term in sorted(schedule.offerings(course_id)):
+            rows.append((course_id, str(term)))
+    return rows

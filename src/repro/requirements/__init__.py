@@ -1,0 +1,45 @@
+"""Goal requirements and the machinery that evaluates them.
+
+A *goal requirement* is the paper's condition on a future enrollment status
+(Section 2, "Exploration Tasks"): complete a set of interesting courses,
+finish a degree (7 core + 5 electives in the evaluation), or any boolean
+condition over completed courses.
+
+Beyond a yes/no test, the goal-driven algorithm's time-based pruning
+(§4.2.1) needs ``left_i`` — the **minimum number of additional courses**
+required to satisfy the goal — computed, per the paper's citation of
+Parameswaran et al. (TOIS 2011), with Ford–Fulkerson max-flow.  That flow
+solver lives in :mod:`repro.requirements.flow`, implemented from scratch
+(Edmonds–Karp and Dinic variants) and cross-checked against networkx in the
+test suite.
+"""
+
+from .flow import FlowNetwork, max_flow
+from .goals import (
+    AllOfGoal,
+    AnyOfGoal,
+    CourseSetGoal,
+    DegreeGoal,
+    ExpressionGoal,
+    Goal,
+    RequirementGroup,
+)
+from .extended import CreditGoal, TagCountGoal
+from .progress import GoalProgress, GroupProgress, progress_report
+
+__all__ = [
+    "FlowNetwork",
+    "max_flow",
+    "Goal",
+    "CourseSetGoal",
+    "ExpressionGoal",
+    "RequirementGroup",
+    "DegreeGoal",
+    "AllOfGoal",
+    "AnyOfGoal",
+    "CreditGoal",
+    "TagCountGoal",
+    "GoalProgress",
+    "GroupProgress",
+    "progress_report",
+]

@@ -1,0 +1,160 @@
+"""Additional goal types (paper §6: "higher expressivity … with respect
+to the goal requirements").
+
+All goals in this library must be **monotone**: adding completed courses
+can never un-satisfy them, and ``remaining_courses`` never increases as
+the completed set grows.  Monotonicity is what makes the goal-driven
+algorithm's early termination ("stop at the first goal status") and the
+pruning strategies sound.  Both goal types here are monotone, and the
+test suite's property tests exercise them through the full algorithm
+stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Any, Dict, FrozenSet, Iterable, Mapping
+
+from ..errors import GoalError
+from .goals import Goal
+
+__all__ = ["CreditGoal", "TagCountGoal"]
+
+
+class CreditGoal(Goal):
+    """Accumulate at least ``min_credits`` from a pool of courses.
+
+    Parameters
+    ----------
+    credits:
+        ``{course_id: credit hours}`` for every course that can
+        contribute.  Courses outside the mapping contribute nothing.
+    min_credits:
+        The target.
+    name:
+        Label for ``describe()``.
+
+    ``remaining_courses`` returns the *minimum number of additional
+    courses* that could reach the target — filling with the
+    highest-credit pending courses first.  That greedy count is exact for
+    this goal (any feasible completion needs at least that many courses)
+    and therefore safe for time-based pruning.
+    """
+
+    def __init__(
+        self,
+        credits: Mapping[str, int],
+        min_credits: int,
+        name: str = "credits",
+    ):
+        if min_credits < 0:
+            raise GoalError(f"min_credits must be >= 0, got {min_credits}")
+        self._credits: Dict[str, int] = {}
+        for course_id, value in credits.items():
+            if value < 0:
+                raise GoalError(f"negative credits for {course_id!r}: {value}")
+            if value > 0:
+                self._credits[course_id] = value
+        self._min_credits = min_credits
+        self._name = name
+        self._attainable = sum(self._credits.values())
+
+    @property
+    def min_credits(self) -> int:
+        """The credit target."""
+        return self._min_credits
+
+    def earned(self, completed: AbstractSet[str]) -> int:
+        """Credits the completed set contributes."""
+        return sum(self._credits.get(course_id, 0) for course_id in completed)
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        return self.earned(completed) >= self._min_credits
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        missing = self._min_credits - self.earned(completed)
+        if missing <= 0:
+            return 0
+        pending = sorted(
+            (
+                value
+                for course_id, value in self._credits.items()
+                if course_id not in completed
+            ),
+            reverse=True,
+        )
+        if sum(pending) < missing:
+            return math.inf
+        count = 0
+        for value in pending:
+            count += 1
+            missing -= value
+            if missing <= 0:
+                return count
+        return math.inf  # unreachable: guarded by the sum check
+
+    def courses(self) -> FrozenSet[str]:
+        return frozenset(self._credits)
+
+    def describe(self) -> str:
+        return f"{self._name}: at least {self._min_credits} credits"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "credits",
+            "name": self._name,
+            "min_credits": self._min_credits,
+            "credits": dict(sorted(self._credits.items())),
+        }
+
+
+class TagCountGoal(Goal):
+    """Complete at least ``required`` of the courses carrying a tag.
+
+    Built from a catalog ("3 systems courses") or from an explicit id
+    pool.  Equivalent to a single
+    :class:`~repro.requirements.goals.RequirementGroup` but cheaper: no
+    flow solve, exact ``remaining_courses`` by counting.
+    """
+
+    def __init__(self, tag: str, course_ids: Iterable[str], required: int):
+        self._tag = tag
+        self._pool = frozenset(course_ids)
+        self._required = required
+        if required < 0:
+            raise GoalError(f"required must be >= 0, got {required}")
+        if required > len(self._pool):
+            raise GoalError(
+                f"requires {required} {tag!r} courses but only "
+                f"{len(self._pool)} exist"
+            )
+
+    @classmethod
+    def from_catalog(cls, catalog, tag: str, required: int) -> "TagCountGoal":
+        """Pool = every catalog course carrying ``tag``."""
+        return cls(tag, catalog.courses_with_tag(tag), required)
+
+    @property
+    def required(self) -> int:
+        """How many tagged courses are needed."""
+        return self._required
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        return len(self._pool & completed) >= self._required
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        return max(0, self._required - len(self._pool & completed))
+
+    def courses(self) -> FrozenSet[str]:
+        return self._pool
+
+    def describe(self) -> str:
+        return f"at least {self._required} {self._tag!r} courses"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "tag_count",
+            "tag": self._tag,
+            "courses": sorted(self._pool),
+            "required": self._required,
+        }

@@ -1,0 +1,226 @@
+"""Maximum-flow solvers, implemented from scratch.
+
+The paper computes ``left_i`` — the minimum number of courses still needed
+to meet a degree requirement — "using Ford-Fulkerson max-flow algorithm"
+(§4.2.1, citing Parameswaran et al.).  This module provides that substrate:
+a small integer-capacity flow network with two solver implementations,
+
+* :meth:`FlowNetwork.max_flow` with ``method="edmonds_karp"`` — the
+  BFS-augmenting-path realization of Ford–Fulkerson (O(V·E²)), and
+* ``method="dinic"`` — level-graph blocking flows (O(V²·E)), the default.
+
+Both return identical values (property-tested against each other and
+against ``networkx.maximum_flow`` when available); Dinic is measurably
+faster on the bipartite requirement networks the degree goals build, which
+the ablation benchmark quantifies.
+
+Nodes are arbitrary hashable objects.  Parallel ``add_edge`` calls between
+the same pair accumulate capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+__all__ = ["FlowNetwork", "max_flow"]
+
+Node = Hashable
+
+
+class _Edge:
+    """A directed edge paired with its residual twin."""
+
+    __slots__ = ("target", "capacity", "flow", "twin")
+
+    def __init__(self, target: Node, capacity: int):
+        self.target = target
+        self.capacity = capacity
+        self.flow = 0
+        self.twin: "_Edge" = None  # type: ignore[assignment]
+
+    @property
+    def residual(self) -> int:
+        return self.capacity - self.flow
+
+    def push(self, amount: int) -> None:
+        self.flow += amount
+        self.twin.flow -= amount
+
+
+class FlowNetwork:
+    """A directed flow network with non-negative integer capacities."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Node, List[_Edge]] = {}
+        self._forward: Dict[Tuple[Node, Node], _Edge] = {}
+
+    def add_node(self, node: Node) -> None:
+        """Ensure ``node`` exists (edges add their endpoints automatically)."""
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, source: Node, target: Node, capacity: int) -> None:
+        """Add capacity from ``source`` to ``target``.
+
+        Repeated calls accumulate.  Self-loops are rejected (they can never
+        carry useful flow and usually indicate a modelling bug).
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if source == target:
+            raise ValueError(f"self-loop on {source!r}")
+        key = (source, target)
+        existing = self._forward.get(key)
+        if existing is not None:
+            existing.capacity += capacity
+            return
+        forward = _Edge(target, capacity)
+        backward = _Edge(source, 0)
+        forward.twin = backward
+        backward.twin = forward
+        self._adjacency.setdefault(source, []).append(forward)
+        self._adjacency.setdefault(target, []).append(backward)
+        self._forward[key] = forward
+
+    def nodes(self) -> Iterable[Node]:
+        """All nodes (endpoints of any edge, plus explicitly added ones)."""
+        return self._adjacency.keys()
+
+    def capacity(self, source: Node, target: Node) -> int:
+        """Total capacity currently assigned to ``source → target``."""
+        edge = self._forward.get((source, target))
+        return edge.capacity if edge is not None else 0
+
+    def flow_on(self, source: Node, target: Node) -> int:
+        """Flow pushed on ``source → target`` by the last ``max_flow`` call."""
+        edge = self._forward.get((source, target))
+        return max(edge.flow, 0) if edge is not None else 0
+
+    def reset_flow(self) -> None:
+        """Zero all flows so ``max_flow`` can be re-run from scratch."""
+        for edges in self._adjacency.values():
+            for edge in edges:
+                edge.flow = 0
+
+    # -- solvers ------------------------------------------------------------
+
+    def max_flow(self, source: Node, sink: Node, method: str = "dinic") -> int:
+        """Maximum ``source → sink`` flow value.
+
+        ``method`` is ``"dinic"`` (default) or ``"edmonds_karp"``.  Flows
+        are reset before solving, so repeated calls are independent.
+        """
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        if source not in self._adjacency or sink not in self._adjacency:
+            return 0
+        self.reset_flow()
+        if method == "dinic":
+            return self._dinic(source, sink)
+        if method == "edmonds_karp":
+            return self._edmonds_karp(source, sink)
+        raise ValueError(f"unknown method {method!r}; use 'dinic' or 'edmonds_karp'")
+
+    def _edmonds_karp(self, source: Node, sink: Node) -> int:
+        total = 0
+        while True:
+            # BFS for the shortest augmenting path in the residual graph.
+            parent_edge: Dict[Node, _Edge] = {}
+            queue = deque([source])
+            visited = {source}
+            while queue and sink not in visited:
+                node = queue.popleft()
+                for edge in self._adjacency[node]:
+                    if edge.residual > 0 and edge.target not in visited:
+                        visited.add(edge.target)
+                        parent_edge[edge.target] = edge
+                        queue.append(edge.target)
+            if sink not in visited:
+                return total
+            # Bottleneck along the path.
+            bottleneck = None
+            node = sink
+            while node != source:
+                edge = parent_edge[node]
+                residual = edge.residual
+                bottleneck = residual if bottleneck is None else min(bottleneck, residual)
+                node = edge.twin.target
+            assert bottleneck is not None and bottleneck > 0
+            node = sink
+            while node != source:
+                edge = parent_edge[node]
+                edge.push(bottleneck)
+                node = edge.twin.target
+            total += bottleneck
+
+    def _dinic(self, source: Node, sink: Node) -> int:
+        total = 0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level is None:
+                return total
+            iterators = {node: 0 for node in self._adjacency}
+            while True:
+                pushed = self._dfs_push(source, sink, float("inf"), level, iterators)
+                if pushed == 0:
+                    break
+                total += pushed
+
+    def _bfs_levels(self, source: Node, sink: Node) -> Dict[Node, int] | None:
+        level = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge in self._adjacency[node]:
+                if edge.residual > 0 and edge.target not in level:
+                    level[edge.target] = level[node] + 1
+                    queue.append(edge.target)
+        return level if sink in level else None
+
+    def _dfs_push(
+        self,
+        node: Node,
+        sink: Node,
+        limit: float,
+        level: Dict[Node, int],
+        iterators: Dict[Node, int],
+    ) -> int:
+        if node == sink:
+            return int(limit) if limit != float("inf") else _saturating(limit)
+        edges = self._adjacency[node]
+        while iterators[node] < len(edges):
+            edge = edges[iterators[node]]
+            if (
+                edge.residual > 0
+                and level.get(edge.target, -1) == level[node] + 1
+            ):
+                pushed = self._dfs_push(
+                    edge.target, sink, min(limit, edge.residual), level, iterators
+                )
+                if pushed > 0:
+                    edge.push(pushed)
+                    return pushed
+            iterators[node] += 1
+        return 0
+
+
+def _saturating(limit: float) -> int:
+    # Only reachable when source == sink is prevented; keep a huge finite cap
+    # so int() above never sees inf.
+    return 2**62
+
+
+def max_flow(
+    edges: Iterable[Tuple[Node, Node, int]],
+    source: Node,
+    sink: Node,
+    method: str = "dinic",
+) -> int:
+    """One-shot convenience: build a network from ``(u, v, capacity)``
+    triples and return the max-flow value."""
+    network = FlowNetwork()
+    network.add_node(source)
+    network.add_node(sink)
+    for u, v, capacity in edges:
+        network.add_edge(u, v, capacity)
+    return network.max_flow(source, sink, method=method)

@@ -1,0 +1,455 @@
+"""Goal requirements: degree rules, course sets, boolean conditions.
+
+A :class:`Goal` answers the two questions the goal-driven algorithm asks of
+an enrollment status:
+
+* :meth:`Goal.is_satisfied` — does this completed set meet the requirement?
+  (the terminal test, and the heart of availability pruning §4.2.2), and
+* :meth:`Goal.remaining_courses` — ``left_i``, the minimum number of
+  *additional* courses needed (the quantity inside time-based pruning's
+  ``min_i = left_i − m·(d − s_i − 1)``, §4.2.1).
+
+Lemma 1's soundness argument requires ``left_i`` to never **over**-estimate.
+:class:`CourseSetGoal`, :class:`ExpressionGoal`, :class:`RequirementGroup`
+and :class:`DegreeGoal` compute it exactly; the composite goals return an
+admissible lower bound (documented per class), which keeps pruning sound at
+the cost of pruning slightly less.
+
+:class:`DegreeGoal` is the paper's evaluation goal ("7 core courses and 5
+elective courses"): a set of k-of-group requirements where one course may
+satisfy at most one group (no double counting), solved with the max-flow
+substrate exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from ..catalog.prereq import PrereqExpr, from_dict as prereq_from_dict
+from ..errors import GoalError
+from .flow import FlowNetwork
+
+__all__ = [
+    "Goal",
+    "CourseSetGoal",
+    "ExpressionGoal",
+    "RequirementGroup",
+    "DegreeGoal",
+    "AllOfGoal",
+    "AnyOfGoal",
+    "goal_from_dict",
+]
+
+
+class Goal:
+    """Abstract goal requirement over completed-course sets."""
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        """Whether a student with exactly ``completed`` meets the goal."""
+        raise NotImplementedError
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        """``left_i``: minimum additional courses needed (0 when satisfied).
+
+        Must never over-estimate (Lemma 1 soundness); ``math.inf`` means the
+        goal is unsatisfiable no matter what is taken.
+        """
+        raise NotImplementedError
+
+    def courses(self) -> FrozenSet[str]:
+        """Every course id that can contribute to satisfying the goal."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """A one-line human-readable description."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation; inverse of :func:`goal_from_dict`."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class CourseSetGoal(Goal):
+    """Complete every course in a fixed set.
+
+    This is the paper's "complete a given set of interesting courses" task;
+    ``remaining_courses`` is exactly ``|S − X|``.
+    """
+
+    def __init__(self, course_ids: Iterable[str]):
+        self._course_ids = frozenset(course_ids)
+        if not self._course_ids:
+            raise GoalError("CourseSetGoal needs at least one course")
+        for cid in self._course_ids:
+            if not isinstance(cid, str) or not cid:
+                raise GoalError(f"bad course id {cid!r}")
+
+    @property
+    def course_ids(self) -> FrozenSet[str]:
+        """The required courses."""
+        return self._course_ids
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        return self._course_ids <= completed
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        return len(self._course_ids - completed)
+
+    def courses(self) -> FrozenSet[str]:
+        return self._course_ids
+
+    def describe(self) -> str:
+        return f"complete {{{', '.join(sorted(self._course_ids))}}}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "course_set", "courses": sorted(self._course_ids)}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CourseSetGoal) and other._course_ids == self._course_ids
+
+    def __hash__(self) -> int:
+        return hash(("CourseSetGoal", self._course_ids))
+
+
+class ExpressionGoal(Goal):
+    """A goal given as an arbitrary boolean expression over completions.
+
+    The paper lets users state goal requirements "as a boolean expression on
+    the student's enrollment status"; this wraps the same expression AST the
+    prerequisite conditions use.  ``remaining_courses`` is exact via DNF.
+    """
+
+    def __init__(self, expression: PrereqExpr, label: str = ""):
+        if not isinstance(expression, PrereqExpr):
+            raise GoalError(f"expected PrereqExpr, got {expression!r}")
+        self._expression = expression
+        self._label = label
+
+    @property
+    def expression(self) -> PrereqExpr:
+        """The underlying boolean expression."""
+        return self._expression
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        return self._expression.evaluate(completed)
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        return self._expression.min_courses_to_satisfy(completed)
+
+    def courses(self) -> FrozenSet[str]:
+        return self._expression.courses()
+
+    def describe(self) -> str:
+        return self._label or f"satisfy {self._expression.to_string()}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "expression",
+            "expression": self._expression.to_dict(),
+            "label": self._label,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExpressionGoal) and other._expression == self._expression
+
+    def __hash__(self) -> int:
+        return hash(("ExpressionGoal", self._expression))
+
+
+class RequirementGroup:
+    """"At least ``required`` of ``courses``" — one row of a degree rule."""
+
+    __slots__ = ("name", "course_ids", "required")
+
+    def __init__(self, name: str, course_ids: Iterable[str], required: int):
+        self.name = name
+        self.course_ids = frozenset(course_ids)
+        self.required = required
+        if required < 0:
+            raise GoalError(f"group {name!r}: required must be >= 0, got {required}")
+        if required > len(self.course_ids):
+            raise GoalError(
+                f"group {name!r}: requires {required} of only "
+                f"{len(self.course_ids)} courses"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "courses": sorted(self.course_ids),
+            "required": self.required,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RequirementGroup":
+        return cls(data["name"], data["courses"], data["required"])
+
+    def __repr__(self) -> str:
+        return f"RequirementGroup({self.name!r}, {self.required} of {len(self.course_ids)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RequirementGroup)
+            and other.name == self.name
+            and other.course_ids == self.course_ids
+            and other.required == self.required
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.course_ids, self.required))
+
+
+class DegreeGoal(Goal):
+    """A degree requirement: several k-of-group rules, no double counting.
+
+    One completed course may be *assigned* to at most one group, so when
+    groups overlap (a course that is both core-eligible and
+    elective-eligible) satisfaction is an assignment problem.  The paper
+    computes ``left_i`` for exactly this shape with Ford–Fulkerson; we build
+    the standard network
+
+        source → course (capacity 1) → each accepting group → sink
+        (capacity = group.required)
+
+    and read off ``left_i = total seats − max-flow(completed courses)``.
+    Maximizing seats filled by already-completed courses minimizes the
+    additional courses needed (transversal-matroid exchange), so the value
+    is exact — the test suite verifies this against brute force.
+    """
+
+    #: Cap on the per-goal memo of ``_filled_seats`` results.  Each entry is
+    #: one frozenset key and an int; the cap bounds memory during frontier
+    #: runs that touch millions of distinct completed sets.
+    _CACHE_LIMIT = 300_000
+
+    def __init__(self, groups: Sequence[RequirementGroup], name: str = "degree"):
+        self._groups = tuple(groups)
+        self._name = name
+        if not self._groups:
+            raise GoalError("DegreeGoal needs at least one requirement group")
+        names = [g.name for g in self._groups]
+        if len(set(names)) != len(names):
+            raise GoalError(f"duplicate group names in {names}")
+        self._total_required = sum(g.required for g in self._groups)
+        self._all_courses = frozenset().union(*(g.course_ids for g in self._groups))
+        # Memo for _filled_seats: generators evaluate the same completed set
+        # several times per node (terminal test, left_i, selection floor).
+        self._seats_cache: Dict[FrozenSet[str], int] = {}
+        # A course set can never fill more seats than it has members, so the
+        # goal is unsatisfiable iff even the full course universe cannot.
+        self._satisfiable = self._filled_seats(self._all_courses) >= self._total_required
+
+    @property
+    def groups(self) -> Tuple[RequirementGroup, ...]:
+        """The requirement groups."""
+        return self._groups
+
+    @property
+    def total_required(self) -> int:
+        """Total number of seats across all groups."""
+        return self._total_required
+
+    @classmethod
+    def from_core_electives(
+        cls,
+        core: Iterable[str],
+        electives: Iterable[str],
+        electives_required: int,
+        name: str = "major",
+    ) -> "DegreeGoal":
+        """The paper's evaluation goal: all of ``core`` plus
+        ``electives_required`` from ``electives``."""
+        core = frozenset(core)
+        return cls(
+            (
+                RequirementGroup("core", core, len(core)),
+                RequirementGroup("electives", electives, electives_required),
+            ),
+            name=name,
+        )
+
+    def _filled_seats(self, completed: AbstractSet[str]) -> int:
+        """Max seats fillable by ``completed`` (one course, one seat)."""
+        relevant = frozenset(completed) & self._all_courses
+        if not relevant:
+            return 0
+        cached = self._seats_cache.get(relevant)
+        if cached is not None:
+            return cached
+        result = self._solve_seats(relevant)
+        if len(self._seats_cache) >= self._CACHE_LIMIT:
+            self._seats_cache.clear()
+        self._seats_cache[relevant] = result
+        return result
+
+    def _solve_seats(self, relevant: FrozenSet[str]) -> int:
+        network = FlowNetwork()
+        source, sink = ("src",), ("snk",)  # tuples cannot collide with course ids
+        network.add_node(source)
+        network.add_node(sink)
+        for group in self._groups:
+            if group.required > 0:
+                network.add_edge(("group", group.name), sink, group.required)
+        for course_id in relevant:
+            network.add_edge(source, ("course", course_id), 1)
+            for group in self._groups:
+                if group.required > 0 and course_id in group.course_ids:
+                    network.add_edge(("course", course_id), ("group", group.name), 1)
+        return network.max_flow(source, sink)
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        return self._filled_seats(completed) >= self._total_required
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        if not self._satisfiable:
+            return math.inf
+        return self._total_required - self._filled_seats(completed)
+
+    def assignment(self, completed: AbstractSet[str]) -> Dict[str, str]:
+        """A maximal ``{course_id: group name}`` assignment — the audit view
+        a front-end shows the student."""
+        relevant = completed & self._all_courses
+        network = FlowNetwork()
+        source, sink = ("src",), ("snk",)
+        network.add_node(source)
+        network.add_node(sink)
+        for group in self._groups:
+            if group.required > 0:
+                network.add_edge(("group", group.name), sink, group.required)
+        for course_id in relevant:
+            network.add_edge(source, ("course", course_id), 1)
+            for group in self._groups:
+                if group.required > 0 and course_id in group.course_ids:
+                    network.add_edge(("course", course_id), ("group", group.name), 1)
+        network.max_flow(source, sink)
+        result = {}
+        for course_id in relevant:
+            for group in self._groups:
+                if network.flow_on(("course", course_id), ("group", group.name)) > 0:
+                    result[course_id] = group.name
+                    break
+        return result
+
+    def courses(self) -> FrozenSet[str]:
+        return self._all_courses
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{g.required} of {len(g.course_ids)} {g.name}" for g in self._groups
+        )
+        return f"{self._name}: {parts}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "degree",
+            "name": self._name,
+            "groups": [g.to_dict() for g in self._groups],
+        }
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DegreeGoal) and other._groups == self._groups
+
+    def __hash__(self) -> int:
+        return hash(("DegreeGoal", self._groups))
+
+
+class AllOfGoal(Goal):
+    """Conjunction of goals.
+
+    ``remaining_courses`` returns the **maximum** over children — an
+    admissible lower bound (a course set satisfying all children must
+    satisfy the most demanding one), not necessarily the exact minimum when
+    children need disjoint courses.  Pruning stays sound; it just fires a
+    little later than an exact bound would allow.
+    """
+
+    def __init__(self, goals: Sequence[Goal]):
+        self._goals = tuple(goals)
+        if not self._goals:
+            raise GoalError("AllOfGoal needs at least one goal")
+
+    @property
+    def goals(self) -> Tuple[Goal, ...]:
+        """The child goals."""
+        return self._goals
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        return all(g.is_satisfied(completed) for g in self._goals)
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        return max(g.remaining_courses(completed) for g in self._goals)
+
+    def courses(self) -> FrozenSet[str]:
+        return frozenset().union(*(g.courses() for g in self._goals))
+
+    def describe(self) -> str:
+        return " and ".join(f"({g.describe()})" for g in self._goals)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "all_of", "goals": [g.to_dict() for g in self._goals]}
+
+
+class AnyOfGoal(Goal):
+    """Disjunction of goals.
+
+    ``remaining_courses`` is the minimum over children — exact whenever the
+    children are exact (satisfying the cheapest child satisfies the
+    disjunction).
+    """
+
+    def __init__(self, goals: Sequence[Goal]):
+        self._goals = tuple(goals)
+        if not self._goals:
+            raise GoalError("AnyOfGoal needs at least one goal")
+
+    @property
+    def goals(self) -> Tuple[Goal, ...]:
+        """The child goals."""
+        return self._goals
+
+    def is_satisfied(self, completed: AbstractSet[str]) -> bool:
+        return any(g.is_satisfied(completed) for g in self._goals)
+
+    def remaining_courses(self, completed: AbstractSet[str]) -> float:
+        return min(g.remaining_courses(completed) for g in self._goals)
+
+    def courses(self) -> FrozenSet[str]:
+        return frozenset().union(*(g.courses() for g in self._goals))
+
+    def describe(self) -> str:
+        return " or ".join(f"({g.describe()})" for g in self._goals)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "any_of", "goals": [g.to_dict() for g in self._goals]}
+
+
+def goal_from_dict(data: Mapping[str, Any]) -> Goal:
+    """Rebuild a goal from its :meth:`Goal.to_dict` representation."""
+    kind = data.get("type")
+    if kind == "course_set":
+        return CourseSetGoal(data["courses"])
+    if kind == "expression":
+        return ExpressionGoal(prereq_from_dict(data["expression"]), data.get("label", ""))
+    if kind == "degree":
+        return DegreeGoal(
+            [RequirementGroup.from_dict(g) for g in data["groups"]],
+            name=data.get("name", "degree"),
+        )
+    if kind == "all_of":
+        return AllOfGoal([goal_from_dict(g) for g in data["goals"]])
+    if kind == "any_of":
+        return AnyOfGoal([goal_from_dict(g) for g in data["goals"]])
+    raise GoalError(f"unknown goal type {kind!r}")

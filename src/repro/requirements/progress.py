@@ -1,0 +1,151 @@
+"""Goal progress reports — the degree-audit view.
+
+Front-ends need more than "satisfied: no"; they need *where the student
+stands*: which requirement groups are filled by what, what is missing,
+how many courses remain.  :func:`progress_report` builds a structured
+:class:`GoalProgress` for any goal, with per-group detail for
+:class:`~repro.requirements.goals.DegreeGoal`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import AbstractSet, FrozenSet, List
+
+from .extended import CreditGoal, TagCountGoal
+from .goals import CourseSetGoal, DegreeGoal, Goal
+
+__all__ = ["GroupProgress", "GoalProgress", "progress_report"]
+
+
+@dataclass(frozen=True)
+class GroupProgress:
+    """Standing against one requirement group (or pseudo-group)."""
+
+    name: str
+    required: int
+    filled: int
+    assigned_courses: FrozenSet[str]
+    missing_options: FrozenSet[str]
+
+    @property
+    def complete(self) -> bool:
+        """Whether the group is fully satisfied."""
+        return self.filled >= self.required
+
+    def describe(self) -> str:
+        """One line, e.g. ``core: 5/7 (missing from: …)``."""
+        text = f"{self.name}: {self.filled}/{self.required}"
+        if not self.complete and self.missing_options:
+            options = ", ".join(sorted(self.missing_options)[:6])
+            more = len(self.missing_options) - 6
+            if more > 0:
+                options += f", … +{more}"
+            text += f" (eligible: {options})"
+        return text
+
+
+@dataclass(frozen=True)
+class GoalProgress:
+    """Full audit: overall standing plus per-group breakdown."""
+
+    goal_description: str
+    satisfied: bool
+    remaining_courses: float
+    groups: List[GroupProgress] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """A multi-line human-readable audit."""
+        status = "SATISFIED" if self.satisfied else (
+            "unsatisfiable" if math.isinf(self.remaining_courses)
+            else f"{int(self.remaining_courses)} courses to go"
+        )
+        lines = [f"{self.goal_description} — {status}"]
+        for group in self.groups:
+            lines.append(f"  {group.describe()}")
+        return "\n".join(lines)
+
+
+def _degree_groups(goal: DegreeGoal, completed: AbstractSet[str]) -> List[GroupProgress]:
+    assignment = goal.assignment(completed)
+    groups = []
+    for group in goal.groups:
+        assigned = frozenset(
+            course for course, name in assignment.items() if name == group.name
+        )
+        groups.append(
+            GroupProgress(
+                name=group.name,
+                required=group.required,
+                filled=len(assigned),
+                assigned_courses=assigned,
+                missing_options=group.course_ids - frozenset(completed),
+            )
+        )
+    return groups
+
+
+def progress_report(goal: Goal, completed: AbstractSet[str]) -> GoalProgress:
+    """Audit ``completed`` against ``goal``.
+
+    Per-group detail is produced for :class:`DegreeGoal`; other goal
+    types get a single pseudo-group summarizing their state.
+    """
+    completed = frozenset(completed)
+    remaining = goal.remaining_courses(completed)
+    satisfied = goal.is_satisfied(completed)
+
+    if isinstance(goal, DegreeGoal):
+        groups = _degree_groups(goal, completed)
+    elif isinstance(goal, CourseSetGoal):
+        done = goal.course_ids & completed
+        groups = [
+            GroupProgress(
+                name="courses",
+                required=len(goal.course_ids),
+                filled=len(done),
+                assigned_courses=done,
+                missing_options=goal.course_ids - completed,
+            )
+        ]
+    elif isinstance(goal, TagCountGoal):
+        done = goal.courses() & completed
+        groups = [
+            GroupProgress(
+                name="tagged courses",
+                required=goal.required,
+                filled=len(done),
+                assigned_courses=done,
+                missing_options=goal.courses() - completed,
+            )
+        ]
+    elif isinstance(goal, CreditGoal):
+        done = goal.courses() & completed
+        groups = [
+            GroupProgress(
+                name="credits",
+                required=goal.min_credits,
+                filled=goal.earned(completed),
+                assigned_courses=done,
+                missing_options=goal.courses() - completed,
+            )
+        ]
+    else:
+        done = goal.courses() & completed
+        groups = [
+            GroupProgress(
+                name="progress",
+                required=int(remaining + len(done)) if not math.isinf(remaining) else 0,
+                filled=len(done),
+                assigned_courses=done,
+                missing_options=goal.courses() - completed,
+            )
+        ]
+
+    return GoalProgress(
+        goal_description=goal.describe(),
+        satisfied=satisfied,
+        remaining_courses=remaining,
+        groups=groups,
+    )

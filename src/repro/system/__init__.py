@@ -1,0 +1,32 @@
+"""The CourseNavigator service layer (paper Fig. 2).
+
+:class:`~repro.system.navigator.CourseNavigator` is the front-end façade a
+deployment embeds: it holds a parsed catalog and exposes the three
+exploration tasks with student-friendly arguments.
+:mod:`~repro.system.visualizer` is the Learning Path Visualizer (text
+rendering here; DOT/JSON export lives in :mod:`repro.graph.export`), and
+:mod:`~repro.system.cli` wires everything into a command-line front-end.
+"""
+
+from .compare_goals import GoalComparison, compare_goals
+from .navigator import CourseNavigator
+from .path_export import paths_to_csv_text, write_paths_csv, write_paths_jsonl
+from .report import build_goal_report
+from .session import PlanningSession, SelectionPreview
+from .visualizer import render_graph, render_path, render_path_table, render_ranked
+
+__all__ = [
+    "CourseNavigator",
+    "PlanningSession",
+    "SelectionPreview",
+    "write_paths_csv",
+    "write_paths_jsonl",
+    "paths_to_csv_text",
+    "build_goal_report",
+    "GoalComparison",
+    "compare_goals",
+    "render_path",
+    "render_path_table",
+    "render_ranked",
+    "render_graph",
+]

@@ -1,0 +1,102 @@
+"""Multi-goal comparison — "which major/minor can I still finish?".
+
+Students deciding between programs want the same exploration run against
+several candidate goals at once: is each still reachable, how many routes
+remain, and what is the fastest completion.  :func:`compare_goals` runs
+counting-mode goal exploration plus a top-1 ranked probe per goal and
+returns a comparable row per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, List, Optional, Sequence
+
+from ..catalog import Catalog
+from ..core import (
+    ExplorationConfig,
+    TimeRanking,
+    frontier_count_goal_paths,
+    generate_ranked,
+)
+from ..errors import BudgetExceededError
+from ..requirements import Goal
+from ..semester import Term
+
+__all__ = ["GoalComparison", "compare_goals"]
+
+
+@dataclass(frozen=True)
+class GoalComparison:
+    """One candidate goal's standing for one student."""
+
+    goal: Goal
+    reachable: bool
+    route_count: Optional[int]        # None = exceeded the counting budget
+    fastest_semesters: Optional[int]  # None = unreachable
+    remaining_courses: float
+
+    def describe(self) -> str:
+        if not self.reachable:
+            return f"{self.goal.describe()}: unreachable by the deadline"
+        routes = (
+            f"{self.route_count:,} routes" if self.route_count is not None
+            else "more routes than the counting budget"
+        )
+        return (
+            f"{self.goal.describe()}: {routes}, fastest finish in "
+            f"{self.fastest_semesters} semesters "
+            f"({int(self.remaining_courses)} courses to go)"
+        )
+
+
+def compare_goals(
+    catalog: Catalog,
+    goals: Sequence[Goal],
+    start_term: Term,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    count_budget: Optional[int] = 500_000,
+) -> List[GoalComparison]:
+    """Evaluate each candidate goal; rows sorted most-achievable first.
+
+    "Most achievable" orders by reachability, then fewest remaining
+    courses, then fastest completion.
+    """
+    config = config or ExplorationConfig()
+    rows: List[GoalComparison] = []
+    for goal in goals:
+        probe = generate_ranked(
+            catalog, start_term, goal, end_term, 1, TimeRanking(),
+            completed=completed, config=config,
+        )
+        reachable = bool(probe.paths)
+        fastest = int(probe.costs[0]) if reachable else None
+        route_count: Optional[int] = 0
+        if reachable:
+            try:
+                route_count = frontier_count_goal_paths(
+                    catalog, start_term, goal, end_term,
+                    completed=completed, config=config,
+                    max_frontier=count_budget,
+                ).path_count
+            except BudgetExceededError:
+                route_count = None
+        rows.append(
+            GoalComparison(
+                goal=goal,
+                reachable=reachable,
+                route_count=route_count if reachable else 0,
+                fastest_semesters=fastest,
+                remaining_courses=goal.remaining_courses(frozenset(completed)),
+            )
+        )
+    rows.sort(
+        key=lambda row: (
+            not row.reachable,
+            row.remaining_courses,
+            row.fastest_semesters if row.fastest_semesters is not None else 1 << 30,
+        )
+    )
+    return rows

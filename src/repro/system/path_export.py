@@ -1,0 +1,81 @@
+"""Streaming exporters for generated path sets.
+
+Generation results can be enormous; analysts want them in flat formats —
+CSV for spreadsheets, JSON Lines for data pipelines.  Both writers here
+stream: they accept any path iterable (including a generator over a live
+:class:`~repro.graph.learning_graph.LearningGraph`) and never hold more
+than one path in memory, with an optional ``limit`` as a safety rail.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import IO, Iterable, Optional
+
+from ..catalog import Catalog
+from ..graph.path import LearningPath
+
+__all__ = ["write_paths_csv", "write_paths_jsonl", "paths_to_csv_text"]
+
+
+def write_paths_csv(
+    paths: Iterable[LearningPath],
+    handle: IO[str],
+    catalog: Optional[Catalog] = None,
+    limit: Optional[int] = None,
+) -> int:
+    """Write one row per (path, term): ``path_id, term, courses, …``.
+
+    With a ``catalog``, a per-term workload column is included.  Returns
+    the number of paths written.
+    """
+    writer = csv.writer(handle)
+    header = ["path_id", "semesters", "term", "courses"]
+    if catalog is not None:
+        header.append("workload_hours")
+    writer.writerow(header)
+    written = 0
+    for path_id, path in enumerate(paths):
+        if limit is not None and written >= limit:
+            break
+        written += 1
+        for term, selection in path:
+            row = [path_id, len(path), str(term), " ".join(sorted(selection))]
+            if catalog is not None:
+                row.append(
+                    sum(catalog[c].workload_hours for c in selection)
+                )
+            writer.writerow(row)
+    return written
+
+
+def paths_to_csv_text(
+    paths: Iterable[LearningPath],
+    catalog: Optional[Catalog] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Convenience: the CSV as a string."""
+    buffer = io.StringIO()
+    write_paths_csv(paths, buffer, catalog=catalog, limit=limit)
+    return buffer.getvalue()
+
+
+def write_paths_jsonl(
+    paths: Iterable[LearningPath],
+    handle: IO[str],
+    limit: Optional[int] = None,
+) -> int:
+    """Write one JSON object per line (``LearningPath.to_dict`` shape).
+
+    Returns the number of paths written.
+    """
+    written = 0
+    for path in paths:
+        if limit is not None and written >= limit:
+            break
+        written += 1
+        json.dump(path.to_dict(), handle, sort_keys=True)
+        handle.write("\n")
+    return written

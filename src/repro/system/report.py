@@ -1,0 +1,119 @@
+"""Exploration reports — one document per exploration run.
+
+A deployed CourseNavigator doesn't hand a student a raw path list; it
+renders a report: the question asked, the headline numbers, the best
+plans, how the engine got there (pruning effectiveness, graph shape), and
+caveats.  :func:`build_goal_report` assembles exactly that from a
+goal-driven result plus an optional ranked result, as plain text that
+drops into an email, a terminal, or a ``<pre>`` block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.metrics import branching_profile
+from ..analysis.statistics import summarize_paths
+from ..catalog import Catalog
+from ..core import ExplorationConfig, GoalDrivenResult, RankedResult
+from ..requirements import Goal, progress_report
+from ..semester import Term
+from .visualizer import render_path
+
+__all__ = ["build_goal_report"]
+
+_RULE = "=" * 72
+
+
+def _section(title: str) -> List[str]:
+    return [_RULE, title, _RULE]
+
+
+def build_goal_report(
+    catalog: Catalog,
+    goal: Goal,
+    start_term: Term,
+    end_term: Term,
+    result: GoalDrivenResult,
+    ranked: Optional[RankedResult] = None,
+    config: Optional[ExplorationConfig] = None,
+    max_listed_plans: int = 3,
+) -> str:
+    """Render a complete text report for one goal exploration.
+
+    Parameters
+    ----------
+    result:
+        The goal-driven run to report on.
+    ranked:
+        Optional ranked result to feature as "recommended plans"; without
+        it the report lists the first few generated paths instead.
+    config:
+        The configuration used (echoed into the report header).
+    """
+    config = config or ExplorationConfig()
+    lines: List[str] = []
+
+    lines += _section("CourseNavigator exploration report")
+    lines.append(f"goal:        {goal.describe()}")
+    lines.append(f"horizon:     {start_term}  ->  {end_term} "
+                 f"({end_term - start_term} semesters)")
+    lines.append(f"constraints: max {config.max_courses_per_term} courses/term"
+                 + (f", avoiding {', '.join(sorted(config.avoid_courses))}"
+                    if config.avoid_courses else ""))
+    for constraint in config.constraints:
+        lines.append(f"             {constraint.describe()}")
+
+    lines.append("")
+    lines += _section("Headline")
+    start_completed = result.graph.status(result.graph.root_id).completed
+    audit = progress_report(goal, start_completed)
+    lines.append(audit.describe())
+    lines.append("")
+    lines.append(f"{result.path_count:,} learning paths satisfy the goal by "
+                 f"{end_term}.")
+    lines.append(
+        f"exploration: {result.stats.nodes_created:,} statuses in "
+        f"{result.stats.elapsed_seconds:.2f}s; "
+        f"{result.pruning_stats.total:,} subtrees pruned "
+        f"(time {result.pruning_stats.share('time'):.0%}, "
+        f"availability {result.pruning_stats.share('availability'):.0%})"
+    )
+
+    if result.path_count:
+        lines.append("")
+        lines += _section("Path-set profile")
+        summary = summarize_paths(result.paths(), catalog)
+        lines.append(
+            f"lengths {summary.min_length}-{summary.max_length} semesters "
+            f"(mean {summary.mean_length:.1f}); workloads "
+            f"{summary.min_workload:.0f}-{summary.max_workload:.0f}h "
+            f"(mean {summary.mean_workload:.0f}h)"
+        )
+        common = ", ".join(
+            f"{course} ({count})" for course, count in summary.most_common_courses(5)
+        )
+        lines.append(f"most common courses: {common}")
+
+    lines.append("")
+    lines += _section("Recommended plans")
+    if ranked is not None and ranked.paths:
+        for rank, (cost, path) in enumerate(ranked.ranked()[:max_listed_plans], 1):
+            lines.append(f"[{rank}] {ranked.ranking.name} cost {cost:g}")
+            lines.append(render_path(path, catalog=catalog, indent="    "))
+    elif result.path_count:
+        for index, path in enumerate(result.paths()):
+            if index >= max_listed_plans:
+                break
+            lines.append(f"[{index + 1}]")
+            lines.append(render_path(path, catalog=catalog, indent="    "))
+    else:
+        lines.append("(no satisfying plans — consider a later deadline, a higher")
+        lines.append(" per-term cap, or dropping a constraint)")
+
+    lines.append("")
+    lines += _section("Engine detail (per-term branching)")
+    for row in branching_profile(result.graph, config.max_courses_per_term):
+        lines.append("  " + row.describe())
+
+    return "\n".join(lines) + "\n"

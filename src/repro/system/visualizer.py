@@ -1,0 +1,148 @@
+"""The Learning Path Visualizer — terminal rendering.
+
+The paper's front-end presents generated paths back to the student; this
+module is the text half of that component (graph file exports live in
+:mod:`repro.graph.export`).  All functions return strings so they compose
+with any output channel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..catalog import Catalog, OfferingModel
+from ..core.ranked import RankedResult
+from ..graph.dag import MergedStatusDag
+from ..graph.learning_graph import LearningGraph
+from ..graph.path import LearningPath
+
+__all__ = ["render_path", "render_path_table", "render_ranked", "render_graph"]
+
+
+def render_path(
+    path: LearningPath,
+    catalog: Optional[Catalog] = None,
+    offering_model: Optional[OfferingModel] = None,
+    indent: str = "",
+) -> str:
+    """A multi-line, per-semester rendering of one plan.
+
+    With a ``catalog``, each semester line shows its workload; with an
+    ``offering_model``, the header shows the plan's reliability.
+    """
+    lines: List[str] = []
+    header = f"{indent}Plan: {len(path)} semesters, {len(path.courses_taken())} courses"
+    if catalog is not None:
+        header += f", {path.workload_cost(catalog):.0f} workload hrs/wk·sem"
+    if offering_model is not None:
+        header += f", reliability {path.reliability(offering_model):.3f}"
+    lines.append(header)
+    for term, selection in path:
+        courses = ", ".join(sorted(selection)) if selection else "(skip)"
+        line = f"{indent}  {term.short}:  {courses}"
+        if catalog is not None and selection:
+            hours = sum(catalog[c].workload_hours for c in selection)
+            line += f"   [{hours:.0f} hrs/wk]"
+        lines.append(line)
+    lines.append(f"{indent}  => completed: {', '.join(sorted(path.end.completed))}")
+    return "\n".join(lines)
+
+
+def render_path_table(
+    paths: Iterable[LearningPath],
+    catalog: Optional[Catalog] = None,
+    limit: int = 20,
+) -> str:
+    """A compact one-line-per-path table (truncated at ``limit`` rows)."""
+    rows = []
+    shown = 0
+    truncated = False
+    for path in paths:
+        if shown >= limit:
+            truncated = True
+            break
+        shown += 1
+        plan = " | ".join(
+            f"{term.short} {','.join(sorted(sel)) or '-'}" for term, sel in path
+        )
+        prefix = f"#{shown:>3}  {len(path)} sem"
+        if catalog is not None:
+            prefix += f"  {path.workload_cost(catalog):6.0f}h"
+        rows.append(f"{prefix}  {plan}")
+    if not rows:
+        return "(no paths)"
+    if truncated:
+        rows.append(f"… (more than {limit} paths; table truncated)")
+    return "\n".join(rows)
+
+
+def render_ranked(
+    result: RankedResult,
+    catalog: Optional[Catalog] = None,
+    offering_model: Optional[OfferingModel] = None,
+) -> str:
+    """The top-k result with per-path rank and cost."""
+    if not result.paths:
+        return f"(no paths satisfy the goal under ranking {result.ranking.name!r})"
+    blocks = []
+    for rank, (cost, path) in enumerate(result.ranked(), start=1):
+        label = f"[{rank}] {result.ranking.name} cost = {cost:g}"
+        blocks.append(label)
+        blocks.append(render_path(path, catalog=catalog, offering_model=offering_model, indent="    "))
+    if result.exhausted:
+        blocks.append(f"(only {len(result.paths)} goal paths exist)")
+    return "\n".join(blocks)
+
+
+def _render_tree(graph: LearningGraph, max_nodes: int) -> str:
+    lines: List[str] = []
+    count = 0
+
+    def visit(node_id: int, depth: int) -> None:
+        nonlocal count
+        if count >= max_nodes:
+            return
+        count += 1
+        status = graph.status(node_id)
+        selection = graph.selection_into(node_id)
+        arrow = f"--{{{', '.join(sorted(selection))}}}--> " if node_id != graph.root_id else ""
+        kind = graph.terminal_kind(node_id)
+        tag = f"  [{kind}]" if kind else ""
+        lines.append(f"{'  ' * depth}{arrow}{status.describe()}{tag}")
+        for child in graph.children(node_id):
+            visit(child, depth + 1)
+
+    visit(graph.root_id, 0)
+    if count >= max_nodes and graph.num_nodes > max_nodes:
+        lines.append(f"… truncated at {max_nodes} of {graph.num_nodes} nodes")
+    return "\n".join(lines)
+
+
+def _render_dag(dag: MergedStatusDag, max_nodes: int) -> str:
+    lines: List[str] = []
+    for i, key in enumerate(dag.nodes()):
+        if i >= max_nodes:
+            lines.append(f"… truncated at {max_nodes} of {dag.num_nodes} statuses")
+            break
+        status = dag.status(key)
+        kind = dag.terminal_kind(key)
+        tag = f"  [{kind}]" if kind else ""
+        lines.append(f"{status.describe()}{tag}")
+        for selection, child in sorted(dag.successors(key).items(), key=lambda kv: sorted(kv[0])):
+            child_status = dag.status(child)
+            lines.append(
+                f"    --{{{', '.join(sorted(selection))}}}--> "
+                f"{child_status.term.short} |X|={len(child_status.completed)}"
+            )
+    return "\n".join(lines)
+
+
+def render_graph(
+    graph: Union[LearningGraph, MergedStatusDag], max_nodes: int = 200
+) -> str:
+    """An indented text dump of a learning graph (tree or merged DAG)."""
+    if isinstance(graph, LearningGraph):
+        return _render_tree(graph, max_nodes)
+    if isinstance(graph, MergedStatusDag):
+        return _render_dag(graph, max_nodes)
+    raise TypeError(f"expected LearningGraph or MergedStatusDag, got {graph!r}")

@@ -1,0 +1,35 @@
+"""Shared fixtures: the paper's Fig. 3 example and small helpers."""
+
+import pytest
+
+from repro.catalog import Catalog, Course, Schedule
+from repro.catalog.prereq import CourseReq
+from repro.semester import Term
+
+F11 = Term(2011, "Fall")
+S12 = Term(2012, "Spring")
+F12 = Term(2012, "Fall")
+S13 = Term(2013, "Spring")
+
+
+@pytest.fixture
+def fig3_catalog():
+    """The exact example of the paper's Fig. 3.
+
+    C = {11A, 29A, 21A}; 11A and 29A have no prerequisites, 21A requires
+    11A; S_11A = S_29A = {Fall '11, Fall '12}, S_21A = {Spring '12}.
+    """
+    return Catalog(
+        [
+            Course("11A"),
+            Course("29A"),
+            Course("21A", prereq=CourseReq("11A")),
+        ],
+        schedule=Schedule(
+            {
+                "11A": {F11, F12},
+                "29A": {F11, F12},
+                "21A": {S12},
+            }
+        ),
+    )

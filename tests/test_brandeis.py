@@ -1,0 +1,172 @@
+"""Tests for the synthetic Brandeis evaluation dataset."""
+
+import pytest
+
+from repro.catalog.prereq import TRUE
+from repro.data import (
+    CORE_COURSE_IDS,
+    ELECTIVE_COURSE_IDS,
+    EVALUATION_END_TERM,
+    brandeis_catalog,
+    brandeis_major_goal,
+    brandeis_offering_model,
+    start_term_for_semesters,
+)
+from repro.data.brandeis import GENERAL_COURSE_IDS, SCHEDULE_FIRST_TERM, course_rows
+from repro.semester import Term, term_range
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return brandeis_catalog()
+
+
+class TestDatasetShape:
+    def test_38_courses(self, catalog):
+        """The paper's dataset size: 38 CS courses."""
+        assert len(catalog) == 38
+
+    def test_partition_7_core_30_electives(self):
+        assert len(CORE_COURSE_IDS) == 7
+        assert len(ELECTIVE_COURSE_IDS) == 30
+        assert len(GENERAL_COURSE_IDS) == 1
+        assert not CORE_COURSE_IDS & ELECTIVE_COURSE_IDS
+        assert not CORE_COURSE_IDS & GENERAL_COURSE_IDS
+
+    def test_deterministic_construction(self, catalog):
+        again = brandeis_catalog()
+        assert set(again) == set(catalog)
+        assert again.schedule == catalog.schedule
+
+    def test_prerequisites_form_dag(self, catalog):
+        assert catalog.find_prerequisite_cycle() is None
+        assert len(catalog.topological_order()) == 38
+
+    def test_has_intro_courses(self, catalog):
+        roots = [cid for cid in catalog if catalog[cid].prereq == TRUE]
+        assert "COSI 11a" in roots
+        assert "COSI 29a" in roots
+        assert len(roots) >= 4
+
+    def test_prereq_depth_up_to_three(self, catalog):
+        depths = {cid: catalog.prerequisite_depth(cid) for cid in catalog}
+        assert max(depths.values()) >= 3  # e.g. 11a -> 21a -> 30a -> 114b
+        assert depths["COSI 11a"] == 0
+
+    def test_every_course_offered_in_window(self, catalog):
+        for course_id in catalog:
+            offered = catalog.schedule.offerings(course_id)
+            assert offered, f"{course_id} never offered"
+            assert all(
+                SCHEDULE_FIRST_TERM <= t <= EVALUATION_END_TERM for t in offered
+            )
+
+    def test_intro_offered_every_term(self, catalog):
+        for term in term_range(SCHEDULE_FIRST_TERM, EVALUATION_END_TERM):
+            assert catalog.schedule.is_offered("COSI 11a", term)
+
+    def test_course_rows_match_catalog(self, catalog):
+        rows = course_rows()
+        assert len(rows) == 38
+        assert {row["course_id"] for row in rows} == set(catalog)
+
+
+class TestMajorGoal:
+    def test_paper_requirement(self):
+        goal = brandeis_major_goal()
+        assert goal.total_required == 12  # 7 core + 5 electives
+        assert goal.remaining_courses(frozenset()) == 12
+
+    def test_core_and_electives_needed(self):
+        goal = brandeis_major_goal()
+        five_electives = sorted(ELECTIVE_COURSE_IDS)[:5]
+        assert not goal.is_satisfied(CORE_COURSE_IDS)
+        assert not goal.is_satisfied(frozenset(five_electives))
+        assert goal.is_satisfied(CORE_COURSE_IDS | frozenset(five_electives))
+
+    def test_general_course_does_not_count(self):
+        goal = brandeis_major_goal()
+        four_electives = sorted(ELECTIVE_COURSE_IDS)[:4]
+        completed = CORE_COURSE_IDS | frozenset(four_electives) | GENERAL_COURSE_IDS
+        assert not goal.is_satisfied(completed)
+
+    def test_configurable_electives(self):
+        assert brandeis_major_goal(electives_required=3).total_required == 10
+
+
+class TestHorizons:
+    def test_six_semesters_is_fall12(self):
+        # §5.2: the Fall '12 – Fall '15 period is the 6-semester horizon.
+        assert start_term_for_semesters(6) == Term(2012, "Fall")
+
+    def test_four_semesters(self):
+        assert start_term_for_semesters(4) == Term(2013, "Fall")
+
+    def test_eight_semesters(self):
+        assert start_term_for_semesters(8) == Term(2011, "Fall")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            start_term_for_semesters(0)
+
+
+class TestOfferingModel:
+    def test_certain_inside_horizon(self):
+        model = brandeis_offering_model(release_horizon_end=Term(2012, "Spring"))
+        assert model.probability("COSI 11a", Term(2011, "Fall")) == 1.0
+        assert model.probability("COSI 31a", Term(2011, "Fall")) == 0.0  # spring course
+
+    def test_yearly_course_certain_beyond_horizon(self):
+        model = brandeis_offering_model(release_horizon_end=Term(2012, "Spring"))
+        assert model.probability("COSI 29a", Term(2014, "Fall")) == 1.0
+        assert model.probability("COSI 29a", Term(2014, "Spring")) == 0.0
+
+    def test_alternate_year_course_is_half(self):
+        model = brandeis_offering_model(release_horizon_end=Term(2012, "Spring"))
+        # COSI 45b is a fall-odd course: ~half the falls historically.
+        p = model.probability("COSI 45b", Term(2014, "Fall"))
+        assert 0.0 < p < 1.0
+
+    def test_probabilities_in_range(self, catalog):
+        model = brandeis_offering_model()
+        for course_id in catalog:
+            for term in term_range(Term(2011, "Fall"), Term(2015, "Fall")):
+                assert 0.0 <= model.probability(course_id, term) <= 1.0
+
+
+class TestFeasibility:
+    """The evaluation horizons must actually admit goal paths."""
+
+    def test_major_feasible_in_four_semesters(self, catalog):
+        from repro.core import frontier_count_goal_paths
+
+        result = frontier_count_goal_paths(
+            catalog,
+            start_term_for_semesters(4),
+            brandeis_major_goal(),
+            EVALUATION_END_TERM,
+        )
+        assert result.path_count > 0
+
+    def test_major_infeasible_in_three_semesters(self, catalog):
+        # 12 required courses, m=3, only 3 taking terms -> max 9 courses.
+        from repro.core import frontier_count_goal_paths
+
+        result = frontier_count_goal_paths(
+            catalog,
+            start_term_for_semesters(3),
+            brandeis_major_goal(),
+            EVALUATION_END_TERM,
+        )
+        assert result.path_count == 0
+
+    def test_goal_counts_grow_with_horizon(self, catalog):
+        from repro.core import frontier_count_goal_paths
+
+        count4 = frontier_count_goal_paths(
+            catalog, start_term_for_semesters(4), brandeis_major_goal(), EVALUATION_END_TERM
+        ).path_count
+        count5 = frontier_count_goal_paths(
+            catalog, start_term_for_semesters(5), brandeis_major_goal(), EVALUATION_END_TERM
+        ).path_count
+        assert count5 > count4 > 0

@@ -1,0 +1,109 @@
+"""Tests for catalog persistence and the registrar pipeline."""
+
+import json
+
+import pytest
+
+from repro.catalog.prereq import And, CourseReq, Or
+from repro.errors import CatalogError, UnknownCourseError
+from repro.parsing import (
+    build_catalog_from_registrar,
+    load_catalog,
+    load_catalog_json,
+    save_catalog,
+)
+from repro.parsing.catalog_io import dump_catalog_json
+from repro.semester import Term
+
+F11, S12 = Term(2011, "Fall"), Term(2012, "Spring")
+
+
+class TestRegistrarPipeline:
+    def test_full_pipeline(self):
+        catalog = build_catalog_from_registrar(
+            course_descriptions={
+                "COSI 11a": "",
+                "COSI 12b": "Prerequisite: COSI 11a",
+                "COSI 21a": "COSI 11a or permission of the instructor",
+            },
+            schedule_text=(
+                "COSI 11a: Fall 2011, Spring 2012\n"
+                "COSI 12b: Spring 2012\n"
+                "COSI 21a: Spring 2012\n"
+            ),
+            workloads={"COSI 12b": 14.0},
+            tags={"COSI 11a": ["core"]},
+            titles={"COSI 11a": "Programming in Java"},
+        )
+        assert catalog["COSI 12b"].prereq == CourseReq("COSI 11a")
+        assert catalog["COSI 21a"].prereq == CourseReq("COSI 11a")
+        assert catalog["COSI 12b"].workload_hours == 14.0
+        assert catalog["COSI 11a"].title == "Programming in Java"
+        assert catalog["COSI 11a"].has_tag("core")
+        assert catalog.schedule.is_offered("COSI 11a", F11)
+
+    def test_schedule_referencing_unknown_course_rejected(self):
+        with pytest.raises(UnknownCourseError):
+            build_catalog_from_registrar(
+                course_descriptions={"A": ""},
+                schedule_text="B: Fall 2011\n",
+            )
+
+    def test_prereq_referencing_unknown_course_rejected(self):
+        with pytest.raises(UnknownCourseError):
+            build_catalog_from_registrar(
+                course_descriptions={"A": "MISSING"},
+                schedule_text="A: Fall 2011\n",
+            )
+
+
+class TestJsonRoundtrip:
+    @pytest.fixture
+    def catalog(self):
+        return build_catalog_from_registrar(
+            course_descriptions={
+                "A": "",
+                "B": "A",
+                "C": "A AND B",
+                "D": "B OR C",
+            },
+            schedule_text="A: Fall 2011\nB: Spring 2012\nC: Spring 2012\nD: Fall 2012\n",
+        )
+
+    def test_file_roundtrip(self, catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        rebuilt = load_catalog(path)
+        assert set(rebuilt) == set(catalog)
+        assert rebuilt.schedule == catalog.schedule
+        assert rebuilt["C"].prereq == And(CourseReq("A"), CourseReq("B"))
+        assert rebuilt["D"].prereq == Or(CourseReq("B"), CourseReq("C"))
+
+    def test_file_output_is_valid_json(self, catalog, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert "courses" in data and "schedule" in data
+
+    def test_dump_string_roundtrip(self, catalog):
+        text = dump_catalog_json(catalog)
+        rebuilt = load_catalog_json(json.loads(text))
+        assert set(rebuilt) == set(catalog)
+
+    def test_load_non_object_rejected(self):
+        with pytest.raises(CatalogError):
+            load_catalog_json([1, 2, 3])
+
+    def test_brandeis_catalog_roundtrips(self, tmp_path):
+        from repro.data import brandeis_catalog
+
+        catalog = brandeis_catalog()
+        path = tmp_path / "brandeis.json"
+        save_catalog(catalog, path)
+        rebuilt = load_catalog(path)
+        assert set(rebuilt) == set(catalog)
+        assert rebuilt.schedule == catalog.schedule
+        for course_id in catalog:
+            assert rebuilt[course_id].prereq.to_dnf() == catalog[course_id].prereq.to_dnf()
+            assert rebuilt[course_id].workload_hours == catalog[course_id].workload_hours

@@ -1,0 +1,279 @@
+"""Tests for the command-line front-end."""
+
+import pytest
+
+from repro.parsing import save_catalog
+from repro.system.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCatalogCommand:
+    def test_lists_builtin_courses(self, capsys):
+        code, out, _err = run_cli(capsys, "catalog")
+        assert code == 0
+        assert "COSI 11a" in out
+        assert out.count("COSI") >= 38
+
+    def test_lists_custom_catalog(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(capsys, "catalog", "--catalog", str(path))
+        assert code == 0
+        assert "21A" in out
+        assert "11A" in out
+
+
+class TestDeadlineCommand:
+    def test_enumeration(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(
+            capsys,
+            "deadline",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Spring 2013",
+        )
+        assert code == 0
+        assert "3 paths" in out
+
+    def test_count_only(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(
+            capsys,
+            "deadline",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Spring 2013",
+            "--count-only",
+        )
+        assert code == 0
+        assert out.startswith("3 deadline-driven paths")
+
+    def test_bad_term_reports_error(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, _out, err = run_cli(
+            capsys,
+            "deadline",
+            "--catalog", str(path),
+            "--start", "Someday",
+            "--end", "Spring 2013",
+        )
+        assert code == 2
+        assert "error:" in err
+
+
+class TestGoalCommand:
+    def test_goal_courses(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+        )
+        assert code == 0
+        assert "1 goal paths" in out
+        assert "pruned" in out
+
+    def test_no_prune_flag(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--no-prune",
+        )
+        assert code == 0
+        assert "0 subtrees pruned" in out
+
+    def test_count_only_builtin_major(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "goal",
+            "--start", "Fall 2013",
+            "--end", "Fall 2015",
+            "--count-only",
+        )
+        assert code == 0
+        assert "905 goal paths" in out
+
+
+class TestRankedCommand:
+    def test_top_k(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(
+            capsys,
+            "ranked",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Spring 2013",
+            "--goal-courses", "11A", "29A", "21A",
+            "-k", "2",
+        )
+        assert code == 0
+        assert "[1] time cost" in out
+
+    def test_workload_ranking(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(
+            capsys,
+            "ranked",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Spring 2013",
+            "--goal-courses", "11A", "29A", "21A",
+            "-k", "1",
+            "--ranking", "workload",
+        )
+        assert code == 0
+        assert "workload cost" in out
+
+
+class TestTranscriptsCommand:
+    def test_simulation_and_containment(self, capsys):
+        # 5 semesters leaves enough slack that random students graduate.
+        code, out, _err = run_cli(
+            capsys, "transcripts", "--semesters", "5", "--students", "5"
+        )
+        assert code == 0
+        assert "5/5 paths contained" in out
+
+
+class TestAuditCommand:
+    def test_unsatisfied_audit_exits_one(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "audit", "--completed", "COSI 11a", "COSI 29a"
+        )
+        assert code == 1
+        assert "10 courses to go" in out
+        assert "core: 2/7" in out
+
+    def test_satisfied_audit_exits_zero(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, _err = run_cli(
+            capsys,
+            "audit",
+            "--catalog", str(path),
+            "--goal-courses", "11A",
+            "--completed", "11A",
+        )
+        assert code == 0
+        assert "SATISFIED" in out
+
+    def test_unknown_completed_course(self, capsys):
+        code, _out, err = run_cli(capsys, "audit", "--completed", "BOGUS 1")
+        assert code == 2
+        assert "unknown courses" in err
+
+
+class TestGoalFile:
+    def test_goal_from_json_file(self, capsys, tmp_path, fig3_catalog):
+        import json
+
+        catalog_path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, catalog_path)
+        goal_path = tmp_path / "goal.json"
+        goal_path.write_text(
+            json.dumps({"type": "course_set", "courses": ["11A", "29A", "21A"]})
+        )
+        code, out, _err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(catalog_path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-file", str(goal_path),
+        )
+        assert code == 0
+        assert "1 goal paths" in out
+
+    def test_degree_goal_file_audit(self, capsys, tmp_path):
+        import json
+
+        goal_path = tmp_path / "goal.json"
+        goal_path.write_text(
+            json.dumps(
+                {
+                    "type": "degree",
+                    "name": "mini",
+                    "groups": [
+                        {"name": "core", "courses": ["COSI 11a"], "required": 1}
+                    ],
+                }
+            )
+        )
+        code, out, _err = run_cli(
+            capsys, "audit", "--goal-file", str(goal_path), "--completed", "COSI 11a"
+        )
+        assert code == 0
+        assert "SATISFIED" in out
+
+
+class TestExportCommand:
+    def test_dot_export(self, capsys, tmp_path, fig3_catalog):
+        catalog_path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, catalog_path)
+        output = tmp_path / "graph.dot"
+        code, out, _err = run_cli(
+            capsys,
+            "export",
+            "--catalog", str(catalog_path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--output", str(output),
+        )
+        assert code == 0
+        assert "wrote dot" in out
+        assert output.read_text().startswith("digraph")
+
+    def test_json_export(self, capsys, tmp_path, fig3_catalog):
+        import json
+
+        catalog_path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, catalog_path)
+        output = tmp_path / "graph.json"
+        code, _out, _err = run_cli(
+            capsys,
+            "export",
+            "--catalog", str(catalog_path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--format", "json",
+            "--output", str(output),
+        )
+        assert code == 0
+        with open(output) as handle:
+            data = json.load(handle)
+        assert data["kind"] == "tree"
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_console_script_registered(self):
+        # pyproject declares the entry point; the module must expose main().
+        from repro.system import cli
+
+        assert callable(cli.main)

@@ -1,0 +1,214 @@
+"""Tests for generation-time selection constraints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ExplorationConfig,
+    ForbiddenCombination,
+    MaxCoursesInTerm,
+    MaxWorkloadPerTerm,
+    RequiredCompanions,
+    TermBlackout,
+    generate_deadline_driven,
+    generate_goal_driven,
+)
+from repro.core.expansion import Expander
+from repro.data import GeneratorSettings, random_catalog
+from repro.errors import InvalidConfigError
+from repro.graph import EnrollmentStatus
+from repro.requirements import CourseSetGoal
+from repro.semester import Term
+
+from .conftest import F11, F12, S12, S13
+
+
+def _status(term, completed=frozenset(), options=frozenset()):
+    return EnrollmentStatus(term, frozenset(completed), frozenset(options))
+
+
+class TestMaxWorkloadPerTerm:
+    def test_allows_under_cap(self, fig3_catalog):
+        constraint = MaxWorkloadPerTerm(fig3_catalog, 25.0)
+        status = _status(F11, options={"11A", "29A"})
+        assert constraint.allows(frozenset({"11A", "29A"}), F11, status)  # 20h
+        assert constraint.allows(frozenset(), F11, status)
+
+    def test_rejects_over_cap(self, fig3_catalog):
+        constraint = MaxWorkloadPerTerm(fig3_catalog, 15.0)
+        status = _status(F11, options={"11A", "29A"})
+        assert not constraint.allows(frozenset({"11A", "29A"}), F11, status)
+
+    def test_negative_cap_rejected(self, fig3_catalog):
+        with pytest.raises(InvalidConfigError):
+            MaxWorkloadPerTerm(fig3_catalog, -1)
+
+    def test_enforced_during_generation(self, fig3_catalog):
+        config = ExplorationConfig(
+            constraints=(MaxWorkloadPerTerm(fig3_catalog, 15.0),)
+        )
+        result = generate_deadline_driven(fig3_catalog, F11, S13, config=config)
+        for path in result.paths():
+            for _term, selection in path:
+                assert len(selection) <= 1  # 10h each, cap 15h
+
+    def test_describe(self, fig3_catalog):
+        assert "20" in MaxWorkloadPerTerm(fig3_catalog, 20).describe()
+
+
+class TestMaxCoursesInTerm:
+    def test_only_applies_to_its_term(self):
+        constraint = MaxCoursesInTerm(F11, 1)
+        status = _status(F11, options={"A", "B"})
+        assert not constraint.allows(frozenset({"A", "B"}), F11, status)
+        assert constraint.allows(frozenset({"A", "B"}), S12, status)
+
+    def test_generation(self, fig3_catalog):
+        config = ExplorationConfig(constraints=(MaxCoursesInTerm(F11, 1),))
+        result = generate_deadline_driven(fig3_catalog, F11, S13, config=config)
+        for path in result.paths():
+            for term, selection in path:
+                if term == F11:
+                    assert len(selection) <= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            MaxCoursesInTerm(F11, -1)
+
+
+class TestForbiddenCombination:
+    def test_semantics(self):
+        constraint = ForbiddenCombination({"A", "B"})
+        status = _status(F11, options={"A", "B", "C"})
+        assert not constraint.allows(frozenset({"A", "B"}), F11, status)
+        assert not constraint.allows(frozenset({"A", "B", "C"}), F11, status)
+        assert constraint.allows(frozenset({"A"}), F11, status)
+        assert constraint.allows(frozenset({"A", "C"}), F11, status)
+
+    def test_needs_two_courses(self):
+        with pytest.raises(InvalidConfigError):
+            ForbiddenCombination({"A"})
+
+    def test_generation_never_pairs(self, fig3_catalog):
+        config = ExplorationConfig(
+            constraints=(ForbiddenCombination({"11A", "29A"}),)
+        )
+        result = generate_deadline_driven(fig3_catalog, F11, S13, config=config)
+        for path in result.paths():
+            for _term, selection in path:
+                assert not {"11A", "29A"} <= selection
+
+
+class TestRequiredCompanions:
+    def test_companion_in_same_selection(self):
+        constraint = RequiredCompanions("LAB", {"LEC"})
+        status = _status(F11, options={"LAB", "LEC"})
+        assert constraint.allows(frozenset({"LAB", "LEC"}), F11, status)
+        assert not constraint.allows(frozenset({"LAB"}), F11, status)
+
+    def test_companion_already_completed(self):
+        constraint = RequiredCompanions("LAB", {"LEC"})
+        status = _status(F11, completed={"LEC"}, options={"LAB"})
+        assert constraint.allows(frozenset({"LAB"}), F11, status)
+
+    def test_irrelevant_selection_allowed(self):
+        constraint = RequiredCompanions("LAB", {"LEC"})
+        status = _status(F11, options={"X"})
+        assert constraint.allows(frozenset({"X"}), F11, status)
+
+    def test_self_companion_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            RequiredCompanions("LAB", {"LAB"})
+
+    def test_empty_companions_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            RequiredCompanions("LAB", set())
+
+
+class TestTermBlackout:
+    def test_blocks_only_its_terms(self):
+        constraint = TermBlackout({S12})
+        status = _status(S12, options={"A"})
+        assert not constraint.allows(frozenset({"A"}), S12, status)
+        assert constraint.allows(frozenset(), S12, status)
+        assert constraint.allows(frozenset({"A"}), F11, status)
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            TermBlackout(set())
+
+    def test_blackout_semester_is_skipped(self, fig3_catalog):
+        # Black out Fall '11; the student waits, and (Fig. 3 schedule)
+        # can still take 11A/29A in Fall '12.
+        config = ExplorationConfig(constraints=(TermBlackout({F11}),))
+        result = generate_deadline_driven(fig3_catalog, F11, S13, config=config)
+        paths = list(result.paths())
+        assert paths
+        for path in paths:
+            assert path.selections[0] == frozenset()
+
+    def test_auto_empty_move_opens_under_blackout(self, fig3_catalog):
+        expander = Expander(
+            fig3_catalog, S13, ExplorationConfig(constraints=(TermBlackout({F11}),))
+        )
+        root = expander.initial_status(F11)
+        successors = dict(expander.successors(root))
+        assert set(successors) == {frozenset()}
+
+
+class TestConstraintsAreEquivalentToPostFiltering:
+    """Per-transition constraints enforced during generation produce the
+    same path set as generating everything and filtering afterwards."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 5000), cap=st.integers(1, 2))
+    def test_max_courses_equivalence(self, seed, cap):
+        catalog = random_catalog(
+            seed, GeneratorSettings(n_courses=5, n_terms=3, offer_probability=0.6)
+        )
+        start = Term(2011, "Fall")
+        end = start + 3
+        target_term = start + 1
+        constraint = MaxCoursesInTerm(target_term, cap)
+        constrained = generate_deadline_driven(
+            catalog, start, end, config=ExplorationConfig(constraints=(constraint,))
+        )
+        unconstrained = generate_deadline_driven(catalog, start, end)
+        filtered = {
+            path.selections
+            for path in unconstrained.paths()
+            if all(
+                len(sel) <= cap
+                for term, sel in path
+                if term == target_term
+            )
+        }
+        generated = {path.selections for path in constrained.paths()}
+        # Post-filtering can leave paths whose *prefix* is shared with a
+        # violating path; generation-time enforcement rebuilds dead-ends.
+        # For a per-transition predicate the sets of *surviving complete
+        # selection sequences* must coincide.
+        assert generated == filtered
+
+    def test_goal_driven_respects_constraints(self, fig3_catalog):
+        goal = CourseSetGoal({"11A", "29A", "21A"})
+        config = ExplorationConfig(
+            constraints=(ForbiddenCombination({"11A", "29A"}),)
+        )
+        result = generate_goal_driven(fig3_catalog, F11, goal, S13, config=config)
+        for path in result.paths():
+            for _term, selection in path:
+                assert not {"11A", "29A"} <= selection
+        # The all-at-once route is gone; the staggered routes remain.
+        assert result.path_count >= 1
+
+
+class TestConfigWiring:
+    def test_constraints_coerced_to_tuple(self, fig3_catalog):
+        config = ExplorationConfig(
+            constraints=[MaxCoursesInTerm(F11, 1)]
+        )
+        assert isinstance(config.constraints, tuple)
+
+    def test_no_constraints_by_default(self):
+        assert ExplorationConfig().constraints == ()

@@ -1,0 +1,111 @@
+"""Tests for merged-DAG counting and frontier-DP counting."""
+
+import pytest
+
+from repro.core import (
+    ExplorationConfig,
+    build_deadline_dag,
+    build_goal_dag,
+    count_deadline_paths,
+    count_goal_paths,
+    frontier_count_deadline_paths,
+    frontier_count_goal_paths,
+    generate_deadline_driven,
+    generate_goal_driven,
+)
+from repro.errors import BudgetExceededError, ExplorationError
+from repro.requirements import CourseSetGoal
+
+from .conftest import F11, F12, S12, S13
+
+GOAL = CourseSetGoal({"11A", "29A", "21A"})
+
+
+class TestDeadlineDagOnFig3:
+    def test_count_matches_tree(self, fig3_catalog):
+        tree = generate_deadline_driven(fig3_catalog, F11, S13)
+        dag = build_deadline_dag(fig3_catalog, F11, S13)
+        assert dag.path_count == tree.path_count == 3
+
+    def test_dag_is_smaller_or_equal(self, fig3_catalog):
+        tree = generate_deadline_driven(fig3_catalog, F11, S13)
+        dag = build_deadline_dag(fig3_catalog, F11, S13)
+        assert dag.dag.num_nodes <= tree.graph.num_nodes
+
+    def test_merges_recorded(self, fig3_catalog):
+        # On Fig. 3 all statuses are distinct, so no merges happen.
+        dag = build_deadline_dag(fig3_catalog, F11, S13)
+        assert dag.stats.merged_hits == 0
+        assert dag.distinct_statuses == 9
+
+    def test_convenience_wrapper(self, fig3_catalog):
+        assert count_deadline_paths(fig3_catalog, F11, S13) == 3
+
+    def test_budget(self, fig3_catalog):
+        with pytest.raises(BudgetExceededError):
+            build_deadline_dag(
+                fig3_catalog, F11, S13, config=ExplorationConfig(max_nodes=2)
+            )
+
+    def test_bad_horizon(self, fig3_catalog):
+        with pytest.raises(ExplorationError):
+            build_deadline_dag(fig3_catalog, S13, F11)
+
+
+class TestGoalDagOnFig3:
+    def test_count_matches_tree(self, fig3_catalog):
+        tree = generate_goal_driven(fig3_catalog, F11, GOAL, F12)
+        dag = build_goal_dag(fig3_catalog, F11, GOAL, F12)
+        assert dag.path_count == tree.path_count == 1
+
+    def test_pruning_stats_propagated(self, fig3_catalog):
+        dag = build_goal_dag(fig3_catalog, F11, GOAL, F12)
+        assert dag.pruning_stats is not None
+        assert dag.pruning_stats.total >= 1
+
+    def test_convenience_wrapper(self, fig3_catalog):
+        assert count_goal_paths(fig3_catalog, F11, GOAL, F12) == 1
+
+    def test_no_pruners_same_count(self, fig3_catalog):
+        assert count_goal_paths(fig3_catalog, F11, GOAL, F12) == build_goal_dag(
+            fig3_catalog, F11, GOAL, F12, pruners=[]
+        ).path_count
+
+
+class TestFrontierOnFig3:
+    def test_deadline_count(self, fig3_catalog):
+        result = frontier_count_deadline_paths(fig3_catalog, F11, S13)
+        assert result.path_count == 3
+        assert result.peak_frontier >= 1
+        assert result.layer_widths[0] == 1
+
+    def test_goal_count(self, fig3_catalog):
+        result = frontier_count_goal_paths(fig3_catalog, F11, GOAL, F12)
+        assert result.path_count == 1
+        assert result.pruning_stats is not None
+
+    def test_goal_count_longer_horizon(self, fig3_catalog):
+        tree = generate_goal_driven(fig3_catalog, F11, GOAL, S13)
+        frontier = frontier_count_goal_paths(fig3_catalog, F11, GOAL, S13)
+        assert frontier.path_count == tree.path_count
+
+    def test_frontier_budget(self, fig3_catalog):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            frontier_count_deadline_paths(fig3_catalog, F11, S13, max_frontier=1)
+        assert excinfo.value.kind == "frontier states"
+
+    def test_zero_horizon(self, fig3_catalog):
+        result = frontier_count_deadline_paths(fig3_catalog, F11, F11)
+        assert result.path_count == 1
+
+    def test_goal_already_satisfied(self, fig3_catalog):
+        result = frontier_count_goal_paths(
+            fig3_catalog, F11, CourseSetGoal({"11A"}), S13, completed={"11A"}
+        )
+        assert result.path_count == 1
+
+    def test_bad_inputs(self, fig3_catalog):
+        with pytest.raises(ExplorationError):
+            frontier_count_goal_paths(fig3_catalog, S13, GOAL, F11)
+        with pytest.raises(ExplorationError):
+            frontier_count_deadline_paths(fig3_catalog, F11, S13, completed={"99Z"})

@@ -1,0 +1,99 @@
+"""Tests for the Course record."""
+
+import pytest
+
+from repro.catalog import Course
+from repro.catalog.prereq import TRUE, And, CourseReq, requires
+
+
+class TestValidation:
+    def test_minimal_course(self):
+        course = Course("COSI 11a")
+        assert course.course_id == "COSI 11a"
+        assert course.title == "COSI 11a"
+        assert course.prereq == TRUE
+        assert course.workload_hours == 10.0
+
+    def test_id_whitespace_stripped(self):
+        assert Course("  COSI 11a  ").course_id == "COSI 11a"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Course("   ")
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(ValueError):
+            Course(42)
+
+    def test_bad_prereq_type_rejected(self):
+        with pytest.raises(TypeError):
+            Course("A", prereq="B")
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Course("A", workload_hours=-1)
+
+    def test_negative_credits_rejected(self):
+        with pytest.raises(ValueError):
+            Course("A", credits=-1)
+
+    def test_self_prerequisite_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Course("A", prereq=CourseReq("A"))
+
+    def test_self_prerequisite_nested_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Course("A", prereq=And(CourseReq("B"), CourseReq("A")))
+
+    def test_tags_coerced_to_frozenset(self):
+        course = Course("A", tags=["core", "core", "systems"])
+        assert course.tags == frozenset({"core", "systems"})
+
+    def test_frozen(self):
+        course = Course("A")
+        with pytest.raises(AttributeError):
+            course.title = "changed"
+
+
+class TestHelpers:
+    def test_has_tag(self):
+        course = Course("A", tags={"core"})
+        assert course.has_tag("core")
+        assert not course.has_tag("elective")
+
+    def test_prerequisite_courses(self):
+        course = Course("C", prereq=requires("A", "B"))
+        assert course.prerequisite_courses() == {"A", "B"}
+
+    def test_with_prereq_copies(self):
+        base = Course("C", title="T", workload_hours=7.0, tags={"x"})
+        updated = base.with_prereq(CourseReq("A"))
+        assert updated.prereq == CourseReq("A")
+        assert updated.title == "T"
+        assert updated.workload_hours == 7.0
+        assert base.prereq == TRUE
+
+    def test_with_tags_copies(self):
+        base = Course("C", tags={"x"})
+        updated = base.with_tags({"y", "z"})
+        assert updated.tags == frozenset({"y", "z"})
+        assert base.tags == frozenset({"x"})
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        course = Course(
+            "COSI 31a",
+            title="Computer Structures",
+            prereq=requires("COSI 12b", "COSI 21a"),
+            workload_hours=14.0,
+            credits=4,
+            tags={"core"},
+            description="Operating systems and architecture.",
+        )
+        assert Course.from_dict(course.to_dict()) == course
+
+    def test_from_dict_defaults(self):
+        course = Course.from_dict({"course_id": "A"})
+        assert course.prereq == TRUE
+        assert course.credits == 4

@@ -1,0 +1,112 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    BudgetExceededError,
+    CatalogError,
+    CourseNavigatorError,
+    DuplicateCourseError,
+    ExplorationError,
+    GoalError,
+    InvalidConfigError,
+    ParseError,
+    PrerequisiteParseError,
+    ScheduleParseError,
+    UnknownCourseError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            CatalogError,
+            ParseError,
+            GoalError,
+            ExplorationError,
+            BudgetExceededError,
+            InvalidConfigError,
+            PrerequisiteParseError,
+            ScheduleParseError,
+            DuplicateCourseError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc_type):
+        assert issubclass(exc_type, CourseNavigatorError)
+
+    def test_unknown_course_is_keyerror(self):
+        assert issubclass(UnknownCourseError, KeyError)
+        err = UnknownCourseError("X", context="somewhere")
+        assert "X" in str(err)
+        assert "somewhere" in str(err)
+        assert err.course_id == "X"
+
+    def test_parse_error_is_valueerror(self):
+        assert issubclass(ParseError, ValueError)
+        err = ParseError("bad", text="abc", position=1)
+        assert err.position == 1
+        assert "abc" in str(err)
+
+    def test_parse_error_without_position(self):
+        err = ParseError("bad", text="abc")
+        assert "abc" in str(err)
+
+    def test_budget_error_fields(self):
+        err = BudgetExceededError("nodes", 10, 11)
+        assert err.kind == "nodes"
+        assert err.limit == 10
+        assert err.observed == 11
+        assert "nodes" in str(err)
+
+    def test_invalid_config_is_valueerror(self):
+        assert issubclass(InvalidConfigError, ValueError)
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_surface(self):
+        """The objects the README quickstart uses exist and cooperate."""
+        from repro import CourseNavigator, Term
+        from repro.data import brandeis_catalog, brandeis_major_goal
+
+        nav = CourseNavigator(brandeis_catalog())
+        result = nav.explore_ranked(
+            start_term=Term(2013, "Fall"),
+            goal=brandeis_major_goal(),
+            end_term=Term(2015, "Fall"),
+            k=2,
+            ranking="time",
+        )
+        assert len(result.paths) == 2
+        assert result.costs == sorted(result.costs)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.catalog
+        import repro.core
+        import repro.data
+        import repro.graph
+        import repro.parsing
+        import repro.requirements
+        import repro.system
+
+        for module in (
+            repro.analysis,
+            repro.catalog,
+            repro.core,
+            repro.data,
+            repro.graph,
+            repro.parsing,
+            repro.requirements,
+            repro.system,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"

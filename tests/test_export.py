@@ -1,0 +1,96 @@
+"""Tests for graph DOT / JSON export."""
+
+import json
+
+import pytest
+
+from repro.core import build_deadline_dag, generate_deadline_driven
+from repro.graph.export import graph_to_dot, graph_to_json, write_dot, write_json
+
+from .conftest import F11, S13
+
+
+@pytest.fixture
+def tree(fig3_catalog):
+    return generate_deadline_driven(fig3_catalog, F11, S13).graph
+
+
+@pytest.fixture
+def dag(fig3_catalog):
+    return build_deadline_dag(fig3_catalog, F11, S13).dag
+
+
+class TestDot:
+    def test_tree_dot_structure(self, tree):
+        dot = graph_to_dot(tree)
+        assert dot.startswith("digraph learning_graph {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -> ") == tree.num_edges
+        assert "n0" in dot
+
+    def test_tree_dot_labels_selections(self, tree):
+        dot = graph_to_dot(tree)
+        assert "{11A, 29A}" in dot
+
+    def test_tree_dot_colors_terminals(self, tree):
+        dot = graph_to_dot(tree)
+        assert "lightblue" in dot  # deadline leaves
+        assert "lightgray" in dot  # the dead end (Fig. 3's n6)
+
+    def test_tree_truncation(self, tree):
+        dot = graph_to_dot(tree, max_nodes=3)
+        assert "more nodes" in dot
+
+    def test_dag_dot(self, dag):
+        dot = graph_to_dot(dag)
+        assert dot.startswith("digraph learning_dag {")
+        assert dot.count(" -> ") == dag.num_edges
+
+    def test_dag_truncation(self, dag):
+        assert "more nodes" in graph_to_dot(dag, max_nodes=2)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            graph_to_dot("graph")
+
+    def test_write_dot(self, tree, tmp_path):
+        path = tmp_path / "graph.dot"
+        write_dot(tree, str(path))
+        assert path.read_text().startswith("digraph")
+
+
+class TestJson:
+    def test_tree_json(self, tree):
+        data = graph_to_json(tree)
+        assert data["kind"] == "tree"
+        assert len(data["nodes"]) == tree.num_nodes
+        assert len(data["edges"]) == tree.num_edges
+        root = data["nodes"][0]
+        assert root["term"] == "Fall 2011"
+        assert root["completed"] == []
+        assert sorted(root["options"]) == ["11A", "29A"]
+
+    def test_tree_json_terminals(self, tree):
+        data = graph_to_json(tree)
+        kinds = {node["terminal"] for node in data["nodes"]}
+        assert "deadline" in kinds and "dead_end" in kinds
+
+    def test_dag_json(self, dag):
+        data = graph_to_json(dag)
+        assert data["kind"] == "dag"
+        assert len(data["nodes"]) == dag.num_nodes
+        assert len(data["edges"]) == dag.num_edges
+
+    def test_json_serializable(self, tree, dag):
+        json.dumps(graph_to_json(tree))
+        json.dumps(graph_to_json(dag))
+
+    def test_write_json(self, dag, tmp_path):
+        path = tmp_path / "graph.json"
+        write_json(dag, str(path))
+        with open(path) as handle:
+            assert json.load(handle)["kind"] == "dag"
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            graph_to_json(42)

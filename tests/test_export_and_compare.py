@@ -1,0 +1,132 @@
+"""Tests for path exporters and plan comparison."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import cost_comparison, diff_paths
+from repro.core import TimeRanking, WorkloadRanking, generate_deadline_driven
+from repro.graph import EnrollmentStatus, LearningPath
+from repro.system import paths_to_csv_text, write_paths_csv, write_paths_jsonl
+
+from .conftest import F11, F12, S12, S13
+
+
+@pytest.fixture
+def paths(fig3_catalog):
+    return list(generate_deadline_driven(fig3_catalog, F11, S13).paths())
+
+
+class TestCsvExport:
+    def test_row_per_term(self, paths, fig3_catalog):
+        text = paths_to_csv_text(paths, fig3_catalog)
+        lines = text.strip().splitlines()
+        expected_rows = sum(len(p) for p in paths)
+        assert len(lines) == expected_rows + 1  # + header
+        assert lines[0] == "path_id,semesters,term,courses,workload_hours"
+
+    def test_without_catalog_no_workload_column(self, paths):
+        text = paths_to_csv_text(paths)
+        assert "workload_hours" not in text.splitlines()[0]
+
+    def test_limit(self, paths):
+        buffer = io.StringIO()
+        written = write_paths_csv(iter(paths), buffer, limit=1)
+        assert written == 1
+
+    def test_content(self, paths, fig3_catalog):
+        text = paths_to_csv_text(paths, fig3_catalog)
+        assert "11A 29A" in text  # a two-course selection, space-joined
+        assert "Fall 2011" in text
+
+    def test_streams_from_generator(self, fig3_catalog):
+        result = generate_deadline_driven(fig3_catalog, F11, S13)
+        buffer = io.StringIO()
+        written = write_paths_csv(result.paths(), buffer, fig3_catalog)
+        assert written == 3
+
+
+class TestJsonlExport:
+    def test_one_object_per_line(self, paths):
+        buffer = io.StringIO()
+        written = write_paths_jsonl(iter(paths), buffer)
+        assert written == len(paths)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == len(paths)
+        first = json.loads(lines[0])
+        assert first["start_term"] == "Fall 2011"
+        assert isinstance(first["steps"], list)
+
+    def test_limit(self, paths):
+        buffer = io.StringIO()
+        assert write_paths_jsonl(iter(paths), buffer, limit=2) == 2
+
+
+def _plan(steps):
+    completed = frozenset()
+    statuses = [EnrollmentStatus(F11, completed)]
+    selections = []
+    term = F11
+    for courses in steps:
+        selections.append(frozenset(courses))
+        completed = completed | frozenset(courses)
+        term = term + 1
+        statuses.append(EnrollmentStatus(term, completed))
+    return LearningPath(statuses, selections)
+
+
+class TestDiffPaths:
+    def test_identical(self):
+        a = _plan([("11A",), ("21A",)])
+        b = _plan([("11A",), ("21A",)])
+        diff = diff_paths(a, b)
+        assert diff.identical
+        assert diff.describe() == "plans are identical"
+
+    def test_divergence_point(self):
+        a = _plan([("11A",), ("21A",)])
+        b = _plan([("11A",), ("29A",)])
+        diff = diff_paths(a, b)
+        assert not diff.identical
+        assert diff.divergence_term == S12
+        assert len(diff.shared_prefix) == 1
+        assert diff.only_in_first == {"21A"}
+        assert diff.only_in_second == {"29A"}
+
+    def test_length_difference(self):
+        a = _plan([("11A",)])
+        b = _plan([("11A",), ("29A",)])
+        diff = diff_paths(a, b)
+        assert diff.divergence_term == S12
+        assert diff.only_in_second == {"29A"}
+
+    def test_per_term_changes(self):
+        a = _plan([("11A", "29A"), ()])
+        b = _plan([("11A",), ("29A",)])
+        diff = diff_paths(a, b)
+        terms = [term for term, _a, _b in diff.per_term_changes]
+        assert terms == [F11, S12]
+
+    def test_different_starts_rejected(self):
+        a = _plan([("11A",)])
+        start = EnrollmentStatus(S12, frozenset())
+        b = LearningPath([start], [])
+        with pytest.raises(ValueError, match="different statuses"):
+            diff_paths(a, b)
+
+    def test_describe_mentions_exclusives(self):
+        a = _plan([("11A",)])
+        b = _plan([("29A",)])
+        text = diff_paths(a, b).describe()
+        assert "11A" in text and "29A" in text
+
+
+class TestCostComparison:
+    def test_table_shape(self, paths, fig3_catalog):
+        rankings = [TimeRanking(), WorkloadRanking(fig3_catalog)]
+        table = cost_comparison(paths, rankings)
+        assert len(table) == len(paths)
+        for row, path in zip(table, paths):
+            assert row["time"] == len(path)
+            assert row["workload"] == path.workload_cost(fig3_catalog)

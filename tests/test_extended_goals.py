@@ -1,0 +1,232 @@
+"""Tests for CreditGoal, TagCountGoal, and progress reporting."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GoalError
+from repro.requirements import (
+    CourseSetGoal,
+    CreditGoal,
+    DegreeGoal,
+    RequirementGroup,
+    TagCountGoal,
+    progress_report,
+)
+
+
+class TestCreditGoal:
+    @pytest.fixture
+    def goal(self):
+        return CreditGoal({"A": 4, "B": 4, "C": 2, "D": 2}, min_credits=8)
+
+    def test_satisfaction(self, goal):
+        assert goal.is_satisfied({"A", "B"})
+        assert goal.is_satisfied({"A", "C", "D"})
+        assert not goal.is_satisfied({"A", "C"})
+
+    def test_irrelevant_courses_ignored(self, goal):
+        assert goal.earned({"A", "X"}) == 4
+        assert not goal.is_satisfied({"X", "Y", "Z"})
+
+    def test_remaining_uses_best_case(self, goal):
+        # 8 credits missing; two 4-credit courses suffice.
+        assert goal.remaining_courses(frozenset()) == 2
+        # 4 missing; one 4-credit course.
+        assert goal.remaining_courses({"A"}) == 1
+        # 2+2 completed: 4 missing, best pending is 4 -> 1 course.
+        assert goal.remaining_courses({"C", "D"}) == 1
+        assert goal.remaining_courses({"A", "B"}) == 0
+
+    def test_remaining_never_overestimates(self, goal):
+        """Exactness check against brute force (pruning soundness)."""
+        universe = ["A", "B", "C", "D"]
+        for r in range(len(universe) + 1):
+            for completed in itertools.combinations(universe, r):
+                completed = frozenset(completed)
+                claimed = goal.remaining_courses(completed)
+                pool = [c for c in universe if c not in completed]
+                best = math.inf
+                for size in range(len(pool) + 1):
+                    if any(
+                        goal.is_satisfied(completed | set(combo))
+                        for combo in itertools.combinations(pool, size)
+                    ):
+                        best = size
+                        break
+                assert claimed == best
+
+    def test_unreachable_target(self):
+        goal = CreditGoal({"A": 4}, min_credits=8)
+        assert goal.remaining_courses(frozenset()) == math.inf
+        assert not goal.is_satisfied({"A"})
+
+    def test_zero_target_always_satisfied(self):
+        goal = CreditGoal({"A": 4}, min_credits=0)
+        assert goal.is_satisfied(frozenset())
+        assert goal.remaining_courses(frozenset()) == 0
+
+    def test_validation(self):
+        with pytest.raises(GoalError):
+            CreditGoal({"A": 4}, min_credits=-1)
+        with pytest.raises(GoalError):
+            CreditGoal({"A": -4}, min_credits=1)
+
+    def test_zero_credit_courses_dropped(self):
+        goal = CreditGoal({"A": 0, "B": 4}, min_credits=4)
+        assert goal.courses() == {"B"}
+
+    def test_monotone(self):
+        """Adding courses never unsatisfies (required by the algorithms)."""
+        goal = CreditGoal({"A": 4, "B": 2}, min_credits=4)
+        assert goal.is_satisfied({"A"})
+        assert goal.is_satisfied({"A", "B"})
+        assert goal.remaining_courses({"A", "B"}) <= goal.remaining_courses({"A"})
+
+    def test_serialization_shape(self):
+        goal = CreditGoal({"A": 4}, min_credits=4)
+        data = goal.to_dict()
+        assert data["type"] == "credits"
+        assert data["min_credits"] == 4
+
+
+class TestTagCountGoal:
+    def test_semantics(self):
+        goal = TagCountGoal("systems", {"A", "B", "C"}, 2)
+        assert goal.is_satisfied({"A", "C"})
+        assert not goal.is_satisfied({"A"})
+        assert goal.remaining_courses({"A"}) == 1
+        assert goal.remaining_courses({"A", "B", "C"}) == 0
+
+    def test_from_catalog(self, fig3_catalog):
+        tagged = fig3_catalog["11A"].with_tags({"intro"})
+        from repro.catalog import Catalog
+
+        catalog = Catalog(
+            [tagged, fig3_catalog["29A"].with_tags({"intro"}), fig3_catalog["21A"]],
+            schedule=fig3_catalog.schedule,
+        )
+        goal = TagCountGoal.from_catalog(catalog, "intro", 2)
+        assert goal.courses() == {"11A", "29A"}
+        assert goal.is_satisfied({"11A", "29A"})
+
+    def test_too_many_required(self):
+        with pytest.raises(GoalError):
+            TagCountGoal("x", {"A"}, 2)
+
+    def test_negative_required(self):
+        with pytest.raises(GoalError):
+            TagCountGoal("x", {"A"}, -1)
+
+    def test_works_in_goal_driven_generation(self, fig3_catalog):
+        from repro.core import generate_goal_driven
+        from .conftest import F11, S13
+
+        goal = TagCountGoal("any", {"11A", "29A", "21A"}, 2)
+        result = generate_goal_driven(fig3_catalog, F11, goal, S13)
+        assert result.path_count > 0
+        for path in result.paths():
+            assert len(path.end.completed & {"11A", "29A", "21A"}) >= 2
+
+
+class TestProgressReport:
+    def test_degree_goal_groups(self):
+        goal = DegreeGoal(
+            (
+                RequirementGroup("core", {"A", "B"}, 2),
+                RequirementGroup("electives", {"C", "D", "E"}, 2),
+            )
+        )
+        report = progress_report(goal, {"A", "C"})
+        assert not report.satisfied
+        assert report.remaining_courses == 2
+        core = next(g for g in report.groups if g.name == "core")
+        assert core.filled == 1
+        assert core.assigned_courses == {"A"}
+        assert core.missing_options == {"B"}
+        assert not core.complete
+
+    def test_satisfied_degree(self):
+        goal = DegreeGoal((RequirementGroup("core", {"A"}, 1),))
+        report = progress_report(goal, {"A"})
+        assert report.satisfied
+        assert "SATISFIED" in report.describe()
+
+    def test_course_set_goal(self):
+        report = progress_report(CourseSetGoal({"A", "B"}), {"A"})
+        assert report.groups[0].filled == 1
+        assert report.groups[0].missing_options == {"B"}
+        assert "1/2" in report.describe()
+
+    def test_tag_goal(self):
+        report = progress_report(TagCountGoal("sys", {"A", "B", "C"}, 2), {"B"})
+        assert report.groups[0].filled == 1
+        assert report.groups[0].required == 2
+
+    def test_credit_goal(self):
+        report = progress_report(CreditGoal({"A": 4, "B": 4}, 8), {"A"})
+        assert report.groups[0].filled == 4
+        assert report.groups[0].required == 8
+
+    def test_unsatisfiable_described(self):
+        goal = DegreeGoal(
+            (
+                RequirementGroup("g1", {"X"}, 1),
+                RequirementGroup("g2", {"X"}, 1),
+            )
+        )
+        report = progress_report(goal, frozenset())
+        assert "unsatisfiable" in report.describe()
+
+    def test_generic_goal_fallback(self):
+        from repro.requirements import AllOfGoal
+
+        goal = AllOfGoal([CourseSetGoal({"A"}), CourseSetGoal({"B"})])
+        report = progress_report(goal, {"A"})
+        assert report.groups
+        assert report.remaining_courses == 1
+
+    def test_group_describe_truncates_long_lists(self):
+        goal = CourseSetGoal({f"C{i}" for i in range(10)})
+        report = progress_report(goal, frozenset())
+        assert "+" in report.groups[0].describe()
+
+
+# -- the new goals flow through the full algorithm stack safely ----------------
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 3000), target=st.integers(1, 3))
+def test_tag_goal_pruning_soundness(seed, target):
+    from repro.core import generate_goal_driven
+    from repro.data import GeneratorSettings, random_catalog
+    from repro.semester import Term
+
+    catalog = random_catalog(seed, GeneratorSettings(n_courses=5, n_terms=3))
+    ids = sorted(catalog.course_ids())[:3]
+    goal = TagCountGoal("t", ids, min(target, len(ids)))
+    start = Term(2011, "Fall")
+    pruned = generate_goal_driven(catalog, start, goal, start + 3)
+    unpruned = generate_goal_driven(catalog, start, goal, start + 3, pruners=[])
+    assert {p.selections for p in pruned.paths()} == {
+        p.selections for p in unpruned.paths()
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 3000))
+def test_credit_goal_pruning_soundness(seed):
+    from repro.core import generate_goal_driven
+    from repro.data import GeneratorSettings, random_catalog
+    from repro.semester import Term
+
+    catalog = random_catalog(seed, GeneratorSettings(n_courses=5, n_terms=3))
+    credits = {cid: 4 for cid in catalog.course_ids()}
+    goal = CreditGoal(credits, min_credits=8)
+    start = Term(2011, "Fall")
+    pruned = generate_goal_driven(catalog, start, goal, start + 3)
+    unpruned = generate_goal_driven(catalog, start, goal, start + 3, pruners=[])
+    assert {p.selections for p in pruned.paths()} == {
+        p.selections for p in unpruned.paths()
+    }

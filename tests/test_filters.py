@@ -1,0 +1,149 @@
+"""Tests for whole-path filters."""
+
+import pytest
+
+from repro.analysis import (
+    AllFilters,
+    AnyFilter,
+    BalancedTerms,
+    CompletesBy,
+    MaxLength,
+    MaxTotalWorkload,
+    MinReliability,
+    TakesCourse,
+    filter_paths,
+)
+from repro.catalog import DeterministicOfferings
+from repro.core import generate_deadline_driven
+
+from .conftest import F11, F12, S12, S13
+
+
+@pytest.fixture
+def paths(fig3_catalog):
+    return list(generate_deadline_driven(fig3_catalog, F11, S13).paths())
+
+
+class TestMaxTotalWorkload:
+    def test_filters_heavy_paths(self, fig3_catalog, paths):
+        # Workloads: 30h (3 courses), 30h, 20h on the Fig. 3 paths.
+        light = list(filter_paths(paths, MaxTotalWorkload(fig3_catalog, 25)))
+        assert len(light) == 1
+        assert len(light[0].courses_taken()) == 2
+
+    def test_accepts_all_with_huge_cap(self, fig3_catalog, paths):
+        assert len(list(filter_paths(paths, MaxTotalWorkload(fig3_catalog, 1000)))) == 3
+
+    def test_describe(self, fig3_catalog):
+        assert "25" in MaxTotalWorkload(fig3_catalog, 25).describe()
+
+
+class TestMaxLength:
+    def test_length_cap(self, paths):
+        short = list(filter_paths(paths, MaxLength(2)))
+        assert all(len(p) <= 2 for p in short)
+        assert len(short) == 1
+
+    def test_zero_cap(self, paths):
+        assert list(filter_paths(paths, MaxLength(0))) == []
+
+
+class TestCompletesBy:
+    def test_completed_in_time(self, paths):
+        check = CompletesBy("11A", S12)
+        passing = [p for p in paths if check.accepts(p)]
+        # Two paths take 11A in Fall '11 (complete by Spring '12); the
+        # wait-a-semester path completes it only by Spring '13.
+        assert len(passing) == 2
+
+    def test_never_completed(self, paths):
+        check = CompletesBy("99Z", S13)
+        assert not any(check.accepts(p) for p in paths)
+
+    def test_deadline_inclusive(self, paths):
+        check = CompletesBy("21A", F12)
+        assert any(check.accepts(p) for p in paths)
+
+
+class TestTakesCourse:
+    def test_detects_elected_course(self, paths):
+        check = TakesCourse("21A")
+        assert sum(1 for p in paths if check.accepts(p)) == 2
+
+    def test_absent_course(self, paths):
+        assert not any(TakesCourse("99Z").accepts(p) for p in paths)
+
+
+class TestMinReliability:
+    def test_certain_schedule_all_pass(self, fig3_catalog, paths):
+        model = DeterministicOfferings(fig3_catalog.schedule)
+        assert len(list(filter_paths(paths, MinReliability(model, 1.0)))) == 3
+
+    def test_threshold_validation(self, fig3_catalog):
+        model = DeterministicOfferings(fig3_catalog.schedule)
+        with pytest.raises(ValueError):
+            MinReliability(model, 1.5)
+
+    def test_uncertain_paths_rejected(self, paths):
+        class Coin:
+            def probability(self, course_id, term):
+                return 0.5
+
+            def selection_probability(self, ids, term):
+                p = 1.0
+                for _ in ids:
+                    p *= 0.5
+                return p
+
+        survivors = list(filter_paths(paths, MinReliability(Coin(), 0.2)))
+        assert len(survivors) < len(paths)
+
+
+class TestBalancedTerms:
+    def test_balanced_path_passes(self, fig3_catalog, paths):
+        # The {11A}->{21A}->{29A} path takes one course per term: perfectly flat.
+        flat = [p for p in paths if all(len(s) == 1 for s in p.selections if s)]
+        check = BalancedTerms(fig3_catalog, 0.0)
+        for path in flat:
+            if all(len(s) == 1 for s in path.selections):
+                assert check.accepts(path)
+
+    def test_lopsided_path_rejected(self, fig3_catalog, paths):
+        # The {11A,29A}->{21A} path is 20h then 10h: 5h above its average.
+        check = BalancedTerms(fig3_catalog, 2.0)
+        lopsided = next(p for p in paths if len(p.selections[0]) == 2)
+        assert not check.accepts(lopsided)
+
+    def test_tolerance_validation(self, fig3_catalog):
+        with pytest.raises(ValueError):
+            BalancedTerms(fig3_catalog, -1)
+
+
+class TestComposition:
+    def test_all_filters(self, fig3_catalog, paths):
+        combined = AllFilters([TakesCourse("21A"), MaxLength(2)])
+        survivors = [p for p in paths if combined.accepts(p)]
+        assert len(survivors) == 1
+
+    def test_all_filters_empty_accepts_everything(self, paths):
+        combined = AllFilters([])
+        assert all(combined.accepts(p) for p in paths)
+
+    def test_any_filter(self, paths):
+        either = AnyFilter([TakesCourse("99Z"), MaxLength(2)])
+        assert sum(1 for p in paths if either.accepts(p)) == 1
+
+    def test_any_filter_needs_children(self):
+        with pytest.raises(ValueError):
+            AnyFilter([])
+
+    def test_filter_paths_lazy(self, fig3_catalog):
+        result = generate_deadline_driven(fig3_catalog, F11, S13)
+        stream = filter_paths(result.paths(), MaxLength(2))
+        first = next(stream)
+        assert len(first) <= 2
+
+    def test_describe_composition(self, paths):
+        combined = AllFilters([MaxLength(2), TakesCourse("21A")])
+        text = combined.describe()
+        assert "2 semesters" in text and "21A" in text

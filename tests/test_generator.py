@@ -1,0 +1,92 @@
+"""Tests for the random catalog generator."""
+
+import pytest
+
+from repro.data import GeneratorSettings, random_catalog, random_course_set_goal
+
+
+class TestSettingsValidation:
+    def test_defaults(self):
+        settings = GeneratorSettings()
+        assert settings.n_courses == 8
+        assert settings.n_terms == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_courses": 0},
+            {"n_terms": 0},
+            {"layers": 0},
+            {"prereq_probability": 1.5},
+            {"or_probability": -0.1},
+            {"offer_probability": 2.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorSettings(**kwargs)
+
+
+class TestRandomCatalog:
+    def test_deterministic_per_seed(self):
+        a = random_catalog(7)
+        b = random_catalog(7)
+        assert set(a) == set(b)
+        assert a.schedule == b.schedule
+        for cid in a:
+            assert a[cid].prereq == b[cid].prereq
+
+    def test_different_seeds_differ(self):
+        a = random_catalog(1, GeneratorSettings(n_courses=10))
+        b = random_catalog(2, GeneratorSettings(n_courses=10))
+        differs = a.schedule != b.schedule or any(
+            a[cid].prereq != b[cid].prereq for cid in a
+        )
+        assert differs
+
+    def test_requested_size(self):
+        assert len(random_catalog(3, GeneratorSettings(n_courses=12))) == 12
+
+    def test_valid_catalog(self):
+        # Construction itself validates (strict mode): no unknown refs,
+        # no cycles.  Run a spread of seeds.
+        for seed in range(25):
+            catalog = random_catalog(seed)
+            assert catalog.find_prerequisite_cycle() is None
+
+    def test_every_course_offered(self):
+        for seed in range(10):
+            catalog = random_catalog(seed, GeneratorSettings(offer_probability=0.0))
+            for cid in catalog:
+                assert catalog.schedule.offerings(cid)
+
+    def test_offerings_inside_window(self):
+        settings = GeneratorSettings(n_terms=3)
+        catalog = random_catalog(11, settings)
+        terms = catalog.schedule.terms()
+        assert all(
+            settings.start_term <= t <= settings.start_term + (settings.n_terms - 1)
+            for t in terms
+        )
+
+    def test_zero_prereq_probability(self):
+        from repro.catalog.prereq import TRUE
+
+        catalog = random_catalog(5, GeneratorSettings(prereq_probability=0.0))
+        assert all(catalog[cid].prereq == TRUE for cid in catalog)
+
+
+class TestRandomGoal:
+    def test_deterministic(self):
+        catalog = random_catalog(9)
+        assert random_course_set_goal(catalog, 1) == random_course_set_goal(catalog, 1)
+
+    def test_size_clamped(self):
+        catalog = random_catalog(9, GeneratorSettings(n_courses=3))
+        goal = random_course_set_goal(catalog, 2, size=10)
+        assert len(goal.course_ids) == 3
+
+    def test_courses_from_catalog(self):
+        catalog = random_catalog(4)
+        goal = random_course_set_goal(catalog, 8, size=3)
+        assert goal.course_ids <= catalog.course_ids()

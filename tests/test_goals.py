@@ -1,0 +1,257 @@
+"""Tests for goal requirements, including the flow-based left_i."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.prereq import CourseReq, Or, requires
+from repro.errors import GoalError
+from repro.requirements import (
+    AllOfGoal,
+    AnyOfGoal,
+    CourseSetGoal,
+    DegreeGoal,
+    ExpressionGoal,
+    RequirementGroup,
+)
+from repro.requirements.goals import goal_from_dict
+
+
+class TestCourseSetGoal:
+    def test_satisfaction(self):
+        goal = CourseSetGoal({"A", "B"})
+        assert goal.is_satisfied({"A", "B", "C"})
+        assert not goal.is_satisfied({"A"})
+
+    def test_remaining(self):
+        goal = CourseSetGoal({"A", "B", "C"})
+        assert goal.remaining_courses(frozenset()) == 3
+        assert goal.remaining_courses({"A", "X"}) == 2
+        assert goal.remaining_courses({"A", "B", "C"}) == 0
+
+    def test_courses(self):
+        assert CourseSetGoal({"A", "B"}).courses() == {"A", "B"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(GoalError):
+            CourseSetGoal([])
+
+    def test_describe(self):
+        assert "A" in CourseSetGoal({"A"}).describe()
+
+
+class TestExpressionGoal:
+    def test_satisfaction_and_remaining(self):
+        goal = ExpressionGoal(Or(requires("A", "B"), CourseReq("C")))
+        assert goal.is_satisfied({"C"})
+        assert not goal.is_satisfied({"A"})
+        assert goal.remaining_courses(frozenset()) == 1  # just C
+        assert goal.remaining_courses({"A"}) == 1  # B or C
+
+    def test_unsatisfiable_expression(self):
+        from repro.catalog.prereq import FALSE
+
+        goal = ExpressionGoal(FALSE)
+        assert goal.remaining_courses(frozenset()) == math.inf
+
+    def test_label(self):
+        goal = ExpressionGoal(CourseReq("A"), label="finish A")
+        assert goal.describe() == "finish A"
+
+    def test_bad_expression_rejected(self):
+        with pytest.raises(GoalError):
+            ExpressionGoal("A")
+
+
+class TestRequirementGroup:
+    def test_validation(self):
+        with pytest.raises(GoalError):
+            RequirementGroup("g", {"A"}, 2)
+        with pytest.raises(GoalError):
+            RequirementGroup("g", {"A"}, -1)
+
+    def test_roundtrip(self):
+        group = RequirementGroup("core", {"A", "B"}, 2)
+        assert RequirementGroup.from_dict(group.to_dict()) == group
+
+
+class TestDegreeGoal:
+    @pytest.fixture
+    def major(self):
+        """2 core + 2 of 3 electives, with course E in both groups."""
+        return DegreeGoal(
+            (
+                RequirementGroup("core", {"A", "B"}, 2),
+                RequirementGroup("electives", {"C", "D", "E"}, 2),
+            )
+        )
+
+    def test_satisfied(self, major):
+        assert major.is_satisfied({"A", "B", "C", "D"})
+        assert not major.is_satisfied({"A", "B", "C"})
+        assert not major.is_satisfied({"A", "C", "D"})
+
+    def test_remaining_counts_seats(self, major):
+        assert major.remaining_courses(frozenset()) == 4
+        assert major.remaining_courses({"A"}) == 3
+        assert major.remaining_courses({"A", "B", "C", "D"}) == 0
+
+    def test_irrelevant_courses_ignored(self, major):
+        assert major.remaining_courses({"X", "Y"}) == 4
+
+    def test_no_double_counting(self):
+        goal = DegreeGoal(
+            (
+                RequirementGroup("g1", {"X"}, 1),
+                RequirementGroup("g2", {"X", "Y"}, 1),
+            )
+        )
+        # X can fill only one group.
+        assert not goal.is_satisfied({"X"})
+        assert goal.is_satisfied({"X", "Y"})
+        assert goal.remaining_courses({"X"}) == 1
+
+    def test_overlap_assigned_optimally(self):
+        # E could fill either group; the flow must route it so both fill.
+        goal = DegreeGoal(
+            (
+                RequirementGroup("g1", {"E", "A"}, 1),
+                RequirementGroup("g2", {"E"}, 1),
+            )
+        )
+        assert goal.is_satisfied({"E", "A"})
+        assert goal.remaining_courses({"E"}) == 1
+
+    def test_unsatisfiable_goal(self):
+        goal = DegreeGoal(
+            (
+                RequirementGroup("g1", {"X"}, 1),
+                RequirementGroup("g2", {"X"}, 1),
+            )
+        )
+        assert goal.remaining_courses(frozenset()) == math.inf
+        assert not goal.is_satisfied({"X"})
+
+    def test_from_core_electives(self):
+        goal = DegreeGoal.from_core_electives({"A", "B"}, {"C", "D", "E"}, 2)
+        assert goal.total_required == 4
+        assert goal.is_satisfied({"A", "B", "C", "E"})
+
+    def test_assignment_view(self, major):
+        assignment = major.assignment({"A", "C", "E"})
+        assert assignment["A"] == "core"
+        assert assignment["C"] == "electives"
+        assert assignment["E"] == "electives"
+
+    def test_duplicate_group_names_rejected(self):
+        with pytest.raises(GoalError, match="duplicate"):
+            DegreeGoal(
+                (
+                    RequirementGroup("g", {"A"}, 1),
+                    RequirementGroup("g", {"B"}, 1),
+                )
+            )
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(GoalError):
+            DegreeGoal(())
+
+    def test_courses(self, major):
+        assert major.courses() == {"A", "B", "C", "D", "E"}
+
+
+class TestCompositeGoals:
+    def test_all_of(self):
+        goal = AllOfGoal([CourseSetGoal({"A"}), CourseSetGoal({"B"})])
+        assert goal.is_satisfied({"A", "B"})
+        assert not goal.is_satisfied({"A"})
+        # max of children — an admissible lower bound
+        assert goal.remaining_courses(frozenset()) == 1
+        assert goal.remaining_courses({"A"}) == 1
+
+    def test_any_of(self):
+        goal = AnyOfGoal([CourseSetGoal({"A", "B"}), CourseSetGoal({"C"})])
+        assert goal.is_satisfied({"C"})
+        assert goal.remaining_courses(frozenset()) == 1
+
+    def test_all_of_lower_bound_is_admissible(self):
+        goal = AllOfGoal([CourseSetGoal({"A"}), CourseSetGoal({"B"})])
+        # True minimum is 2; the bound must not exceed it.
+        assert goal.remaining_courses(frozenset()) <= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(GoalError):
+            AllOfGoal([])
+        with pytest.raises(GoalError):
+            AnyOfGoal([])
+
+    def test_courses_union(self):
+        goal = AnyOfGoal([CourseSetGoal({"A"}), CourseSetGoal({"B"})])
+        assert goal.courses() == {"A", "B"}
+
+
+class TestGoalSerialization:
+    @pytest.mark.parametrize(
+        "goal",
+        [
+            CourseSetGoal({"A", "B"}),
+            ExpressionGoal(Or(CourseReq("A"), CourseReq("B")), label="either"),
+            DegreeGoal.from_core_electives({"A"}, {"B", "C"}, 1),
+            AllOfGoal([CourseSetGoal({"A"}), CourseSetGoal({"B"})]),
+            AnyOfGoal([CourseSetGoal({"A"}), CourseSetGoal({"B"})]),
+        ],
+    )
+    def test_roundtrip_semantics(self, goal):
+        rebuilt = goal_from_dict(goal.to_dict())
+        for completed in [frozenset(), {"A"}, {"A", "B"}, {"B", "C"}, {"A", "B", "C"}]:
+            assert rebuilt.is_satisfied(completed) == goal.is_satisfied(completed)
+            assert rebuilt.remaining_courses(completed) == goal.remaining_courses(completed)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(GoalError):
+            goal_from_dict({"type": "mystery"})
+
+
+# -- property: flow-based left_i is exact ------------------------------------------
+
+_UNIVERSE = ["A", "B", "C", "D", "E", "F"]
+
+
+@st.composite
+def _degree_goals(draw):
+    n_groups = draw(st.integers(min_value=1, max_value=3))
+    groups = []
+    for i in range(n_groups):
+        members = draw(
+            st.sets(st.sampled_from(_UNIVERSE), min_size=1, max_size=4)
+        )
+        required = draw(st.integers(min_value=0, max_value=len(members)))
+        groups.append(RequirementGroup(f"g{i}", members, required))
+    return DegreeGoal(groups)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_degree_goals(), st.sets(st.sampled_from(_UNIVERSE)))
+def test_degree_remaining_matches_brute_force(goal, completed):
+    """left_i from max-flow equals the brute-force minimum additional courses."""
+    completed = frozenset(completed)
+    claimed = goal.remaining_courses(completed)
+    pool = sorted(set(_UNIVERSE) - completed)
+    best = math.inf
+    for size in range(len(pool) + 1):
+        if size >= best:
+            break
+        for extra in itertools.combinations(pool, size):
+            if goal.is_satisfied(completed | set(extra)):
+                best = size
+                break
+    assert claimed == best
+
+
+@settings(max_examples=80, deadline=None)
+@given(_degree_goals(), st.sets(st.sampled_from(_UNIVERSE)))
+def test_degree_satisfaction_consistent_with_remaining(goal, completed):
+    completed = frozenset(completed)
+    assert goal.is_satisfied(completed) == (goal.remaining_courses(completed) == 0)

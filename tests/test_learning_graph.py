@@ -1,0 +1,166 @@
+"""Tests for the tree LearningGraph and the MergedStatusDag."""
+
+import pytest
+
+from repro.graph import EnrollmentStatus, LearningGraph, MergedStatusDag
+from repro.semester import Term
+
+F11, S12, F12 = Term(2011, "Fall"), Term(2012, "Spring"), Term(2012, "Fall")
+
+
+def _root():
+    return EnrollmentStatus(F11, frozenset(), {"A", "B"})
+
+
+class TestLearningGraphStructure:
+    def test_root(self):
+        graph = LearningGraph(_root())
+        assert graph.root_id == 0
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+        assert graph.parent(0) is None
+        assert graph.selection_into(0) == frozenset()
+
+    def test_non_status_root_rejected(self):
+        with pytest.raises(TypeError):
+            LearningGraph("root")
+
+    def test_add_child(self):
+        graph = LearningGraph(_root())
+        child = EnrollmentStatus(S12, {"A"})
+        child_id = graph.add_child(0, frozenset({"A"}), child)
+        assert child_id == 1
+        assert graph.children(0) == (1,)
+        assert graph.parent(1) == 0
+        assert graph.selection_into(1) == {"A"}
+        assert graph.out_degree(0) == 1
+        assert graph.depth(1) == 1
+
+    def test_bad_node_id(self):
+        graph = LearningGraph(_root())
+        with pytest.raises(IndexError):
+            graph.status(5)
+        with pytest.raises(IndexError):
+            graph.add_child(5, frozenset(), _root())
+
+    def test_leaf_ids(self):
+        graph = LearningGraph(_root())
+        graph.add_child(0, frozenset({"A"}), EnrollmentStatus(S12, {"A"}))
+        graph.add_child(0, frozenset({"B"}), EnrollmentStatus(S12, {"B"}))
+        assert list(graph.leaf_ids()) == [1, 2]
+
+
+class TestTerminalsAndPaths:
+    @pytest.fixture
+    def graph(self):
+        graph = LearningGraph(_root())
+        a = graph.add_child(0, frozenset({"A"}), EnrollmentStatus(S12, {"A"}))
+        b = graph.add_child(0, frozenset({"B"}), EnrollmentStatus(S12, {"B"}))
+        ab = graph.add_child(a, frozenset({"B"}), EnrollmentStatus(F12, {"A", "B"}))
+        graph.mark_terminal(ab, "goal")
+        graph.mark_terminal(b, "dead_end")
+        return graph
+
+    def test_terminal_kinds(self, graph):
+        assert graph.terminal_kind(3) == "goal"
+        assert graph.terminal_kind(2) == "dead_end"
+        assert graph.terminal_kind(0) is None
+
+    def test_unknown_kind_rejected(self, graph):
+        with pytest.raises(ValueError, match="unknown terminal kind"):
+            graph.mark_terminal(0, "mystery")
+
+    def test_path_to(self, graph):
+        path = graph.path_to(3)
+        assert len(path) == 2
+        assert path.selections == (frozenset({"A"}), frozenset({"B"}))
+        assert path.end.completed == {"A", "B"}
+
+    def test_paths_default_excludes_pruned(self, graph):
+        graph.mark_terminal(1, "pruned")
+        kinds = [p.end.completed for p in graph.paths()]
+        assert frozenset({"A"}) not in kinds  # wait: node 1 is interior with child
+        assert len(list(graph.paths())) == 2
+
+    def test_paths_filtered_by_kind(self, graph):
+        assert len(list(graph.paths("goal"))) == 1
+        assert len(list(graph.paths("dead_end"))) == 1
+        assert len(list(graph.paths("deadline"))) == 0
+
+    def test_count_paths(self, graph):
+        assert graph.count_paths() == 2
+        assert graph.count_paths("goal") == 1
+
+
+class TestMergedStatusDag:
+    def test_merging_by_key(self):
+        root = _root()
+        dag = MergedStatusDag(root)
+        # Two orders of taking A then B / B then A converge at {A, B}.
+        a, created_a = dag.ensure_node(EnrollmentStatus(S12, {"A"}))
+        b, created_b = dag.ensure_node(EnrollmentStatus(S12, {"B"}))
+        assert created_a and created_b
+        ab1, created1 = dag.ensure_node(EnrollmentStatus(F12, {"A", "B"}))
+        ab2, created2 = dag.ensure_node(EnrollmentStatus(F12, {"A", "B"}))
+        assert created1 and not created2
+        assert ab1 == ab2
+        dag.add_edge(root.key, frozenset({"A"}), a)
+        dag.add_edge(root.key, frozenset({"B"}), b)
+        dag.add_edge(a, frozenset({"B"}), ab1)
+        dag.add_edge(b, frozenset({"A"}), ab1)
+        dag.mark_terminal(ab1, "goal")
+        assert dag.num_nodes == 4
+        assert dag.num_edges == 4
+        assert dag.count_paths("goal") == 2  # two distinct selection sequences
+
+    def test_edge_consistency_enforced(self):
+        root = _root()
+        dag = MergedStatusDag(root)
+        a, _created = dag.ensure_node(EnrollmentStatus(S12, {"A"}))
+        with pytest.raises(ValueError, match="inconsistent"):
+            dag.add_edge(root.key, frozenset({"B"}), a)
+
+    def test_edge_unknown_nodes_rejected(self):
+        dag = MergedStatusDag(_root())
+        with pytest.raises(KeyError):
+            dag.add_edge((S12, frozenset()), frozenset(), dag.root_key)
+        with pytest.raises(KeyError):
+            dag.add_edge(dag.root_key, frozenset(), (S12, frozenset({"A"})))
+
+    def test_mark_terminal_unknown_node(self):
+        dag = MergedStatusDag(_root())
+        with pytest.raises(KeyError):
+            dag.mark_terminal((F12, frozenset({"Z"})), "goal")
+
+    def test_count_paths_kind_filter(self):
+        root = _root()
+        dag = MergedStatusDag(root)
+        a, _ = dag.ensure_node(EnrollmentStatus(S12, {"A"}))
+        dag.add_edge(root.key, frozenset({"A"}), a)
+        dag.mark_terminal(a, "deadline")
+        assert dag.count_paths("goal") == 0
+        assert dag.count_paths("deadline") == 1
+        assert dag.count_paths() == 1
+
+    def test_count_nodes_by_term(self):
+        root = _root()
+        dag = MergedStatusDag(root)
+        a, _ = dag.ensure_node(EnrollmentStatus(S12, {"A"}))
+        b, _ = dag.ensure_node(EnrollmentStatus(S12, {"B"}))
+        histogram = dag.count_nodes_by_term()
+        assert histogram[F11] == 1
+        assert histogram[S12] == 2
+
+    def test_sample_paths(self):
+        root = _root()
+        dag = MergedStatusDag(root)
+        a, _ = dag.ensure_node(EnrollmentStatus(S12, {"A"}))
+        b, _ = dag.ensure_node(EnrollmentStatus(S12, {"B"}))
+        dag.add_edge(root.key, frozenset({"A"}), a)
+        dag.add_edge(root.key, frozenset({"B"}), b)
+        dag.mark_terminal(a, "goal")
+        dag.mark_terminal(b, "goal")
+        samples = dag.sample_paths(1, "goal")
+        assert len(samples) == 1
+        assert samples[0][0] == root.key
+        assert len(dag.sample_paths(10, "goal")) == 2

@@ -1,0 +1,139 @@
+"""Tests for the catalog linter and earliest-completion analysis."""
+
+import pytest
+
+from repro.catalog import Catalog, Course, Schedule, earliest_completions, lint_catalog
+from repro.catalog.prereq import FALSE, CourseReq, requires
+from repro.semester import Term
+
+F11, S12, F12, S13 = (
+    Term(2011, "Fall"),
+    Term(2012, "Spring"),
+    Term(2012, "Fall"),
+    Term(2013, "Spring"),
+)
+
+
+class TestEarliestCompletions:
+    def test_fig3_earliest(self, fig3_catalog):
+        done = earliest_completions(fig3_catalog)
+        assert done["11A"] == S12   # taken Fall '11
+        assert done["29A"] == S12
+        assert done["21A"] == F12   # taken Spring '12 after 11A
+
+    def test_window_restriction(self, fig3_catalog):
+        done = earliest_completions(fig3_catalog, (S12, F12))
+        # 11A is only offered F11/F12 -> inside this window first F12.
+        assert done["11A"] == S13
+        # 21A offered S12 but its prerequisite cannot be complete yet.
+        assert "21A" not in done
+
+    def test_empty_schedule(self):
+        catalog = Catalog([Course("A")])
+        assert earliest_completions(catalog) == {}
+
+    def test_chain_over_sparse_schedule(self):
+        # A -> B where B is only offered *before* A can complete.
+        catalog = Catalog(
+            [Course("A"), Course("B", prereq=CourseReq("A"))],
+            schedule=Schedule({"A": {F12}, "B": {S12}}),
+        )
+        done = earliest_completions(catalog)
+        assert done["A"] == S13
+        assert "B" not in done
+
+
+class TestLintCatalog:
+    def test_clean_catalog(self, fig3_catalog):
+        issues = lint_catalog(fig3_catalog)
+        assert [i for i in issues if i.severity == "error"] == []
+
+    def test_never_offered(self):
+        catalog = Catalog(
+            [Course("A"), Course("B")],
+            schedule=Schedule({"A": {F11}}),
+        )
+        issues = lint_catalog(catalog)
+        codes = {(i.code, i.course_id) for i in issues}
+        assert ("never-offered", "B") in codes
+
+    def test_unsatisfiable_prereq(self):
+        catalog = Catalog(
+            [Course("A"), Course("B", prereq=FALSE)],
+            schedule=Schedule({"A": {F11}, "B": {S12}}),
+        )
+        issues = lint_catalog(catalog)
+        assert any(
+            i.code == "unsatisfiable-prereq" and i.course_id == "B" for i in issues
+        )
+
+    def test_unreachable_in_window(self):
+        # B requires A, but B's only offering precedes A's completion.
+        catalog = Catalog(
+            [Course("A"), Course("B", prereq=CourseReq("A"))],
+            schedule=Schedule({"A": {F12}, "B": {S12}}),
+        )
+        issues = lint_catalog(catalog)
+        assert any(
+            i.code == "unreachable-in-window" and i.course_id == "B" for i in issues
+        )
+
+    def test_deep_chain_outruns_window(self):
+        catalog = Catalog(
+            [
+                Course("A"),
+                Course("B", prereq=CourseReq("A")),
+                Course("C", prereq=requires("B")),
+            ],
+            schedule=Schedule({"A": {F11}, "B": {S12}, "C": {S12}}),
+        )
+        issues = lint_catalog(catalog)
+        assert any(
+            i.code == "unreachable-in-window" and i.course_id == "C" for i in issues
+        )
+
+    def test_errors_sort_first(self):
+        catalog = Catalog(
+            [Course("A"), Course("B")],
+            schedule=Schedule({"A": {F11}}),
+        )
+        issues = lint_catalog(catalog)
+        severities = [i.severity for i in issues]
+        assert severities == sorted(
+            severities, key=lambda s: {"error": 0, "warning": 1, "info": 2}[s]
+        )
+
+    def test_unused_as_prerequisite_info(self):
+        catalog = Catalog(
+            [Course("A"), Course("B", prereq=CourseReq("A"))],
+            schedule=Schedule({"A": {F11}, "B": {S12}}),
+        )
+        issues = lint_catalog(catalog)
+        codes = {(i.code, i.course_id) for i in issues}
+        assert ("unused-as-prerequisite", "B") in codes
+        assert ("unused-as-prerequisite", "A") not in codes
+
+    def test_tagged_courses_not_flagged_unused(self):
+        catalog = Catalog(
+            [Course("A", tags={"elective"})],
+            schedule=Schedule({"A": {F11}}),
+        )
+        issues = lint_catalog(catalog)
+        assert not any(i.code == "unused-as-prerequisite" for i in issues)
+
+    def test_brandeis_catalog_is_clean(self):
+        from repro.data import brandeis_catalog
+
+        issues = lint_catalog(brandeis_catalog())
+        assert [i for i in issues if i.severity == "error"] == []
+
+    def test_lakeside_catalog_is_clean(self):
+        from repro.data import lakeside_catalog
+
+        issues = lint_catalog(lakeside_catalog())
+        assert [i for i in issues if i.severity == "error"] == []
+
+    def test_str_rendering(self):
+        catalog = Catalog([Course("A")], schedule=Schedule())
+        issue = lint_catalog(catalog)[0]
+        assert "never-offered" in str(issue)

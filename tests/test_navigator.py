@@ -1,0 +1,86 @@
+"""Tests for the CourseNavigator façade."""
+
+import pytest
+
+from repro.core import ExplorationConfig, TimeRanking, WorkloadRanking
+from repro.errors import ExplorationError
+from repro.requirements import CourseSetGoal
+from repro.system import CourseNavigator
+
+from .conftest import F11, F12, S12, S13
+
+GOAL = CourseSetGoal({"11A", "29A", "21A"})
+
+
+@pytest.fixture
+def navigator(fig3_catalog):
+    return CourseNavigator(fig3_catalog)
+
+
+class TestExploration:
+    def test_explore_deadline(self, navigator):
+        result = navigator.explore_deadline(F11, S13)
+        assert result.path_count == 3
+
+    def test_explore_goal(self, navigator):
+        result = navigator.explore_goal(F11, GOAL, F12)
+        assert result.path_count == 1
+
+    def test_explore_ranked(self, navigator):
+        result = navigator.explore_ranked(F11, GOAL, S13, k=1)
+        assert result.costs == [2.0]
+
+    def test_count_deadline(self, navigator):
+        assert navigator.count_deadline(F11, S13) == 3
+
+    def test_count_goal(self, navigator):
+        assert navigator.count_goal(F11, GOAL, F12) == 1
+
+    def test_kwargs_build_config(self, navigator):
+        result = navigator.explore_deadline(
+            F11, S13, max_courses_per_term=1, avoid_courses={"29A"}
+        )
+        for path in result.paths():
+            assert all(len(sel) <= 1 for sel in path.selections)
+            assert "29A" not in path.courses_taken()
+
+    def test_explicit_config_wins(self, navigator):
+        config = ExplorationConfig(max_courses_per_term=1)
+        result = navigator.explore_deadline(F11, S12, config=config)
+        for path in result.paths():
+            assert all(len(sel) <= 1 for sel in path.selections)
+
+
+class TestRankingResolution:
+    def test_named_rankings(self, navigator):
+        assert isinstance(navigator.resolve_ranking("time"), TimeRanking)
+        assert isinstance(navigator.resolve_ranking("workload"), WorkloadRanking)
+        assert navigator.resolve_ranking("reliability").name == "reliability"
+
+    def test_instance_passthrough(self, navigator):
+        ranking = TimeRanking()
+        assert navigator.resolve_ranking(ranking) is ranking
+
+    def test_unknown_name_rejected(self, navigator):
+        with pytest.raises(ExplorationError, match="unknown ranking"):
+            navigator.resolve_ranking("karma")
+
+    def test_ranked_with_named_ranking(self, navigator):
+        result = navigator.explore_ranked(F11, GOAL, S13, k=1, ranking="workload")
+        assert len(result.paths) == 1
+
+
+class TestTranscriptChecks:
+    def test_check_transcript(self, navigator):
+        goal_paths = list(navigator.explore_goal(F11, GOAL, S13).paths())
+        verdict, reason = navigator.check_transcript(goal_paths[0], GOAL, S13)
+        assert verdict, reason
+
+    def test_check_transcripts_report(self, navigator):
+        goal_paths = list(navigator.explore_goal(F11, GOAL, S13).paths())
+        report = navigator.check_transcripts(goal_paths, GOAL, S13)
+        assert report.all_contained
+
+    def test_properties(self, navigator, fig3_catalog):
+        assert navigator.catalog is fig3_catalog
+        assert navigator.offering_model is fig3_catalog.offering_model

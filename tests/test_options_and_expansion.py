@@ -1,0 +1,183 @@
+"""Tests for selection enumeration and the shared Expander."""
+
+import pytest
+
+from repro.core.config import ExplorationConfig
+from repro.core.expansion import Expander
+from repro.core.options import (
+    has_relevant_future_offering,
+    iter_selections,
+    selection_count,
+)
+from repro.errors import InvalidConfigError
+from repro.semester import Term
+
+from .conftest import F11, F12, S12, S13
+
+
+class TestIterSelections:
+    def test_sizes_one_to_m(self):
+        selections = list(iter_selections({"A", "B", "C"}, 2))
+        assert frozenset({"A"}) in selections
+        assert frozenset({"A", "B"}) in selections
+        assert frozenset({"A", "B", "C"}) not in selections
+        assert frozenset() not in selections
+
+    def test_count_matches_formula(self):
+        for n in range(0, 6):
+            for m in range(1, 5):
+                options = {f"X{i}" for i in range(n)}
+                assert len(list(iter_selections(options, m))) == selection_count(n, m)
+
+    def test_min_per_term_floor(self):
+        selections = list(iter_selections({"A", "B", "C"}, 3, min_per_term=2))
+        assert all(len(s) >= 2 for s in selections)
+        assert len(selections) == 3 + 1
+
+    def test_min_zero_includes_empty(self):
+        selections = list(iter_selections({"A"}, 1, min_per_term=0))
+        assert frozenset() in selections
+
+    def test_deterministic_order(self):
+        a = list(iter_selections({"B", "A", "C"}, 2))
+        b = list(iter_selections({"C", "A", "B"}, 2))
+        assert a == b
+        # sizes ascending
+        sizes = [len(s) for s in a]
+        assert sizes == sorted(sizes)
+
+    def test_paper_branching_formula(self):
+        # Σ_{i=1..m} C(|Y|, i) — the §4.3 selection-options count.
+        assert selection_count(6, 3) == 6 + 15 + 20
+
+
+class TestFutureOffering:
+    def test_detects_relevant_future(self, fig3_catalog):
+        # Fig. 3 node n4: X={29A} at Spring '12 — 11A returns in Fall '12.
+        assert has_relevant_future_offering(
+            fig3_catalog, {"29A"}, S12, S13
+        )
+
+    def test_everything_completed_means_none(self, fig3_catalog):
+        # Fig. 3 node n6: all courses done.
+        assert not has_relevant_future_offering(
+            fig3_catalog, {"11A", "29A", "21A"}, F12, S13
+        )
+
+    def test_window_excludes_end_term(self, fig3_catalog):
+        # Courses taken in t complete by t+1, so an offering *at* the end
+        # term is useless.
+        assert not has_relevant_future_offering(
+            fig3_catalog, frozenset(), F12, S13
+        )
+
+    def test_exclusions_respected(self, fig3_catalog):
+        assert not has_relevant_future_offering(
+            fig3_catalog, {"29A"}, S12, S13, exclude={"11A", "21A"}
+        )
+
+
+class TestExplorationConfig:
+    def test_defaults_match_paper(self):
+        config = ExplorationConfig()
+        assert config.max_courses_per_term == 3
+        assert config.empty_selection == "auto"
+        assert config.enforce_min_selection
+
+    def test_invalid_m(self):
+        with pytest.raises(InvalidConfigError):
+            ExplorationConfig(max_courses_per_term=0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidConfigError):
+            ExplorationConfig(empty_selection="sometimes")
+
+    def test_invalid_max_nodes(self):
+        with pytest.raises(InvalidConfigError):
+            ExplorationConfig(max_nodes=0)
+
+    def test_avoid_coerced(self):
+        config = ExplorationConfig(avoid_courses={"A"})
+        assert isinstance(config.avoid_courses, frozenset)
+
+
+class TestExpander:
+    def test_initial_status_matches_fig3_n1(self, fig3_catalog):
+        expander = Expander(fig3_catalog, S13, ExplorationConfig())
+        root = expander.initial_status(F11)
+        assert root.term == F11
+        assert root.completed == frozenset()
+        assert root.options == {"11A", "29A"}
+
+    def test_successors_match_fig3_root(self, fig3_catalog):
+        # n1 branches to {11A}, {29A}, {11A, 29A} — and nothing else.
+        expander = Expander(fig3_catalog, S13, ExplorationConfig())
+        root = expander.initial_status(F11)
+        successors = dict(expander.successors(root))
+        assert set(successors) == {
+            frozenset({"11A"}),
+            frozenset({"29A"}),
+            frozenset({"11A", "29A"}),
+        }
+        child = successors[frozenset({"11A", "29A"})]
+        assert child.term == S12
+        assert child.completed == {"11A", "29A"}
+        assert child.options == {"21A"}  # Fig. 3 node n3
+
+    def test_empty_move_auto_allows_fig3_n4(self, fig3_catalog):
+        # n4: X={29A} in Spring '12, no options, but 11A returns — one
+        # empty transition.
+        expander = Expander(fig3_catalog, S13, ExplorationConfig())
+        n4 = expander.initial_status(S12, {"29A"})
+        successors = dict(expander.successors(n4))
+        assert set(successors) == {frozenset()}
+        child = successors[frozenset()]
+        assert child.term == F12
+        assert child.options == {"11A"}  # Fig. 3 node n7
+
+    def test_empty_move_auto_stops_fig3_n6(self, fig3_catalog):
+        # n6: everything completed — dead end, no successors.
+        expander = Expander(fig3_catalog, S13, ExplorationConfig())
+        n6 = expander.initial_status(F12, {"11A", "29A", "21A"})
+        assert list(expander.successors(n6)) == []
+
+    def test_empty_move_never_policy(self, fig3_catalog):
+        expander = Expander(
+            fig3_catalog, S13, ExplorationConfig(empty_selection="never")
+        )
+        n4 = expander.initial_status(S12, {"29A"})
+        assert list(expander.successors(n4)) == []
+
+    def test_empty_move_always_policy(self, fig3_catalog):
+        expander = Expander(
+            fig3_catalog, S13, ExplorationConfig(empty_selection="always")
+        )
+        root = expander.initial_status(F11)
+        successors = dict(expander.successors(root))
+        assert frozenset() in successors  # skipping is allowed alongside
+
+    def test_max_per_term_limits_selections(self, fig3_catalog):
+        expander = Expander(
+            fig3_catalog, S13, ExplorationConfig(max_courses_per_term=1)
+        )
+        root = expander.initial_status(F11)
+        successors = dict(expander.successors(root))
+        assert set(successors) == {frozenset({"11A"}), frozenset({"29A"})}
+
+    def test_required_minimum_floors_selections(self, fig3_catalog):
+        expander = Expander(fig3_catalog, S13, ExplorationConfig())
+        root = expander.initial_status(F11)
+        successors = dict(expander.successors(root, required_minimum=2))
+        assert set(successors) == {frozenset({"11A", "29A"})}
+
+    def test_required_minimum_suppresses_empty_move(self, fig3_catalog):
+        expander = Expander(fig3_catalog, S13, ExplorationConfig())
+        n4 = expander.initial_status(S12, {"29A"})
+        assert list(expander.successors(n4, required_minimum=1)) == []
+
+    def test_avoid_courses_removed_from_options(self, fig3_catalog):
+        expander = Expander(
+            fig3_catalog, S13, ExplorationConfig(avoid_courses=frozenset({"29A"}))
+        )
+        root = expander.initial_status(F11)
+        assert root.options == {"11A"}

@@ -1,0 +1,190 @@
+"""Tests for the registrar prerequisite-text parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.catalog.prereq import (
+    FALSE,
+    TRUE,
+    And,
+    CourseReq,
+    KOf,
+    Or,
+)
+from repro.errors import PrerequisiteParseError
+from repro.parsing import parse_prerequisites
+
+
+class TestBasics:
+    def test_empty_means_no_prerequisites(self):
+        assert parse_prerequisites("") == TRUE
+        assert parse_prerequisites("   ") == TRUE
+
+    def test_none_keyword(self):
+        assert parse_prerequisites("none") == TRUE
+        assert parse_prerequisites("NONE") == TRUE
+
+    def test_never_keyword(self):
+        assert parse_prerequisites("NEVER") == FALSE
+
+    def test_single_course(self):
+        assert parse_prerequisites("COSI 11a") == CourseReq("COSI 11a")
+
+    def test_multiword_course_id(self):
+        assert parse_prerequisites("MATH 10 a") == CourseReq("MATH 10 a")
+
+    def test_label_stripped(self):
+        assert parse_prerequisites("Prerequisite: COSI 11a") == CourseReq("COSI 11a")
+        assert parse_prerequisites("Prerequisites: COSI 11a") == CourseReq("COSI 11a")
+        assert parse_prerequisites("prereq: COSI 11a") == CourseReq("COSI 11a")
+
+    def test_trailing_period_stripped(self):
+        assert parse_prerequisites("COSI 11a.") == CourseReq("COSI 11a")
+
+
+class TestConnectives:
+    def test_and(self):
+        expr = parse_prerequisites("COSI 11a AND COSI 29a")
+        assert expr == And(CourseReq("COSI 11a"), CourseReq("COSI 29a"))
+
+    def test_and_case_insensitive(self):
+        assert parse_prerequisites("A and B") == And(CourseReq("A"), CourseReq("B"))
+
+    def test_or(self):
+        expr = parse_prerequisites("COSI 11a OR COSI 2a")
+        assert expr == Or(CourseReq("COSI 11a"), CourseReq("COSI 2a"))
+
+    def test_precedence_and_binds_tighter(self):
+        expr = parse_prerequisites("A AND B OR C")
+        assert expr == Or(And(CourseReq("A"), CourseReq("B")), CourseReq("C"))
+
+    def test_parentheses(self):
+        expr = parse_prerequisites("A AND (B OR C)")
+        assert expr == And(CourseReq("A"), Or(CourseReq("B"), CourseReq("C")))
+
+    def test_comma_reads_as_and(self):
+        expr = parse_prerequisites("COSI 11a, COSI 12b and COSI 21a")
+        assert expr == And(
+            CourseReq("COSI 11a"), CourseReq("COSI 12b"), CourseReq("COSI 21a")
+        )
+
+    def test_comma_list_with_final_or(self):
+        # "a, b, or c" is a registrar-style disjunction of the whole list
+        expr = parse_prerequisites("A, B, or C")
+        assert expr.evaluate({"A", "B"})
+        assert expr.evaluate({"C"})
+        assert not expr.evaluate({"A"})
+
+    def test_semicolon_is_conjunction(self):
+        expr = parse_prerequisites("A; B")
+        assert expr == And(CourseReq("A"), CourseReq("B"))
+
+    def test_nested_parens(self):
+        expr = parse_prerequisites("((A))")
+        assert expr == CourseReq("A")
+
+
+class TestKOf:
+    def test_k_of_bracket_list(self):
+        expr = parse_prerequisites("2 OF [A, B, C]")
+        assert expr == KOf(2, [CourseReq("A"), CourseReq("B"), CourseReq("C")])
+
+    def test_k_of_with_compound_items(self):
+        expr = parse_prerequisites("1 OF [A AND B, C]")
+        assert expr == KOf(1, [And(CourseReq("A"), CourseReq("B")), CourseReq("C")])
+
+    def test_k_of_inside_conjunction(self):
+        expr = parse_prerequisites("X AND (2 OF [A, B, C])")
+        assert isinstance(expr, And)
+
+    def test_brandeis_capstone_shape(self):
+        expr = parse_prerequisites("2 OF [COSI 101a, COSI 103a, COSI 107a, COSI 127b]")
+        assert expr.evaluate({"COSI 101a", "COSI 127b"})
+        assert not expr.evaluate({"COSI 101a"})
+
+    def test_k_of_missing_of(self):
+        with pytest.raises(PrerequisiteParseError):
+            parse_prerequisites("2 [A, B]")
+
+
+class TestInstructorPermission:
+    TEXT = "COSI 11a or permission of the instructor"
+
+    def test_ignore_drops_the_clause(self):
+        assert parse_prerequisites(self.TEXT, "ignore") == CourseReq("COSI 11a")
+
+    def test_true_makes_condition_trivial(self):
+        assert parse_prerequisites(self.TEXT, "true") == TRUE
+
+    def test_error_raises(self):
+        with pytest.raises(PrerequisiteParseError, match="permission"):
+            parse_prerequisites(self.TEXT, "error")
+
+    def test_permission_only_condition_ignored_is_true(self):
+        assert parse_prerequisites("Permission of the instructor", "ignore") == TRUE
+
+    def test_instructors_consent_variant(self):
+        assert (
+            parse_prerequisites("COSI 11a or instructor's consent", "ignore")
+            == CourseReq("COSI 11a")
+        )
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prerequisites("A", instructor_permission="maybe")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "AND",
+            "A AND",
+            "A OR",
+            "(A",
+            "A)",
+            "A B (",
+            "2 OF [A",
+            "A @ B",
+            ", A",
+        ],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(PrerequisiteParseError):
+            parse_prerequisites(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(PrerequisiteParseError) as excinfo:
+            parse_prerequisites("A @ B")
+        assert excinfo.value.position is not None
+
+
+# -- round-trip property --------------------------------------------------------
+
+_IDS = ["COSI 11a", "COSI 12b", "COSI 21a", "MATH 23b", "PHYS 10a"]
+
+
+def _exprs():
+    leaves = st.one_of(
+        st.just(TRUE),
+        st.sampled_from([CourseReq(c) for c in _IDS]),
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(lambda cs: And(*cs)),
+            st.lists(children, min_size=2, max_size=3).map(lambda cs: Or(*cs)),
+            st.tuples(
+                st.integers(min_value=1, max_value=2),
+                st.lists(children, min_size=2, max_size=3),
+            ).map(lambda kv: KOf(kv[0], kv[1])),
+        ),
+        max_leaves=6,
+    )
+
+
+@given(_exprs())
+def test_to_string_parse_roundtrip_is_equivalent(expr):
+    """Printing then re-parsing yields a semantically equivalent condition."""
+    reparsed = parse_prerequisites(expr.to_string())
+    assert reparsed.to_dnf() == expr.to_dnf()

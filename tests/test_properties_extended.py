@@ -1,0 +1,210 @@
+"""Second wave of cross-cutting property tests (newer machinery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CourseCountRanking,
+    ExplorationConfig,
+    MaxWorkloadPerTerm,
+    frontier_count_deadline_paths,
+    frontier_count_goal_paths,
+    generate_deadline_driven,
+    generate_goal_driven,
+    generate_ranked,
+)
+from repro.analysis import diff_paths, is_generated_goal_path
+from repro.data import GeneratorSettings, random_catalog, random_course_set_goal
+from repro.errors import PrerequisiteParseError
+from repro.parsing import parse_prerequisites
+from repro.semester import Term
+
+START = Term(2011, "Fall")
+
+_SETTINGS = st.builds(
+    GeneratorSettings,
+    n_courses=st.integers(min_value=2, max_value=6),
+    n_terms=st.just(4),
+    prereq_probability=st.sampled_from([0.0, 0.5]),
+    offer_probability=st.sampled_from([0.4, 0.7]),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 8000), settings_=_SETTINGS, horizon=st.integers(1, 4))
+def test_frontier_terminal_census_matches_tree(seed, settings_, horizon):
+    """The frontier DP's per-kind path counts equal the tree's leaf census."""
+    catalog = random_catalog(seed, settings_)
+    goal = random_course_set_goal(catalog, seed + 1, size=2)
+    end = START + horizon
+    config = ExplorationConfig(max_courses_per_term=2)
+
+    tree = generate_goal_driven(catalog, START, goal, end, config=config)
+    frontier = frontier_count_goal_paths(catalog, START, goal, end, config=config)
+    tree_census = {
+        kind: tree.graph.count_paths(kind)
+        for kind in ("goal", "deadline", "dead_end", "pruned")
+    }
+    for kind, count in tree_census.items():
+        assert frontier.terminal_path_counts.get(kind, 0) == count, kind
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 8000), settings_=_SETTINGS, horizon=st.integers(1, 4))
+def test_frontier_deadline_census_matches_tree(seed, settings_, horizon):
+    catalog = random_catalog(seed, settings_)
+    end = START + horizon
+    config = ExplorationConfig(max_courses_per_term=2)
+    tree = generate_deadline_driven(catalog, START, end, config=config)
+    frontier = frontier_count_deadline_paths(catalog, START, end, config=config)
+    assert frontier.terminal_path_counts.get("deadline", 0) == tree.graph.count_paths(
+        "deadline"
+    )
+    assert frontier.terminal_path_counts.get("dead_end", 0) == tree.graph.count_paths(
+        "dead_end"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 8000), settings_=_SETTINGS)
+def test_containment_checker_agrees_with_enumeration(seed, settings_):
+    """A path is accepted by the replay checker iff the generator emits it."""
+    catalog = random_catalog(seed, settings_)
+    goal = random_course_set_goal(catalog, seed + 1, size=2)
+    end = START + 3
+    config = ExplorationConfig(max_courses_per_term=2)
+
+    goal_result = generate_goal_driven(catalog, START, goal, end, config=config)
+    generated = {p.selections for p in goal_result.paths()}
+    for path in goal_result.paths():
+        verdict, reason = is_generated_goal_path(catalog, goal, path, end, config)
+        assert verdict, reason
+
+    # Candidate paths from *deadline* exploration: contained iff generated.
+    for path in generate_deadline_driven(catalog, START, end, config=config).paths():
+        verdict, _reason = is_generated_goal_path(catalog, goal, path, end, config)
+        assert verdict == (path.selections in generated)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 8000), settings_=_SETTINGS, k=st.integers(1, 5))
+def test_course_count_topk_matches_bruteforce(seed, settings_, k):
+    catalog = random_catalog(seed, settings_)
+    goal = random_course_set_goal(catalog, seed + 1, size=2)
+    end = START + 3
+    config = ExplorationConfig(max_courses_per_term=2)
+    ranking = CourseCountRanking()
+    everything = generate_goal_driven(catalog, START, goal, end, config=config)
+    brute = sorted(ranking.path_cost(p) for p in everything.paths())
+    result = generate_ranked(catalog, START, goal, end, k, ranking, config=config)
+    assert result.costs == brute[: len(result.costs)]
+    assert len(result.costs) == min(k, len(brute))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 8000), cap=st.sampled_from([16.0, 20.0, 28.0]))
+def test_workload_constraint_equals_post_filter(seed, cap):
+    """Per-term workload caps enforced in-generation equal post-filtering.
+
+    Caps are chosen at or above the generator's maximum single-course
+    workload (16h) so at least one selection survives at every node; when
+    a cap blocks *everything* the constrained engine legitimately adds
+    wait moves post-filtering cannot produce (see the explicit test
+    below).
+    """
+    catalog = random_catalog(
+        seed, GeneratorSettings(n_courses=5, n_terms=3, offer_probability=0.6)
+    )
+    end = START + 3
+    constrained = generate_deadline_driven(
+        catalog,
+        START,
+        end,
+        config=ExplorationConfig(
+            max_courses_per_term=2,
+            constraints=(MaxWorkloadPerTerm(catalog, cap),),
+        ),
+    )
+    unconstrained = generate_deadline_driven(
+        catalog, START, end, config=ExplorationConfig(max_courses_per_term=2)
+    )
+
+    def within_cap(path):
+        return all(
+            sum(catalog[c].workload_hours for c in sel) <= cap
+            for _term, sel in path
+        )
+
+    filtered = {p.selections for p in unconstrained.paths() if within_cap(p)}
+    generated = {p.selections for p in constrained.paths()}
+    assert generated == filtered
+
+
+def test_total_workload_block_enables_waiting():
+    """When a cap blocks every selection in a term, the constrained engine
+    inserts a wait move (like a blackout) instead of dead-ending — a
+    deliberate divergence from naive post-filtering."""
+    from repro.catalog import Catalog, Course, Schedule
+
+    f11, s12 = Term(2011, "Fall"), Term(2012, "Spring")
+    catalog = Catalog(
+        [Course("HEAVY", workload_hours=30), Course("LIGHT", workload_hours=5)],
+        schedule=Schedule({"HEAVY": {f11}, "LIGHT": {s12}}),
+    )
+    config = ExplorationConfig(constraints=(MaxWorkloadPerTerm(catalog, 10.0),))
+    result = generate_deadline_driven(catalog, f11, s12 + 1, config=config)
+    plans = {p.selections for p in result.paths()}
+    # Fall '11 is unaffordable -> wait, then take the light course.
+    assert plans == {(frozenset(), frozenset({"LIGHT"}))}
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 8000), settings_=_SETTINGS)
+def test_diff_paths_properties(seed, settings_):
+    """Self-diff is identical; exclusives are symmetric."""
+    catalog = random_catalog(seed, settings_)
+    end = START + 2
+    paths = list(
+        generate_deadline_driven(
+            catalog, START, end, config=ExplorationConfig(max_courses_per_term=2)
+        ).paths()
+    )
+    if not paths:
+        return
+    first = paths[0]
+    assert diff_paths(first, first).identical
+    if len(paths) > 1:
+        second = paths[-1]
+        forward = diff_paths(first, second)
+        backward = diff_paths(second, first)
+        assert forward.only_in_first == backward.only_in_second
+        assert forward.only_in_second == backward.only_in_first
+        assert forward.divergence_term == backward.divergence_term
+
+
+_TEXT_ALPHABET = "COSI 12ab()[],AND or OF;&@#\n\t'"
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(alphabet=_TEXT_ALPHABET, max_size=40))
+def test_prereq_parser_total(text):
+    """Arbitrary input either parses or raises PrerequisiteParseError —
+    never any other exception."""
+    try:
+        expr = parse_prerequisites(text)
+    except PrerequisiteParseError:
+        return
+    # Whatever parsed must be a well-behaved expression.
+    assert expr.evaluate(expr.courses()) in (True, False)
+    assert expr.to_dnf() is not None
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet=_TEXT_ALPHABET, max_size=30))
+def test_prereq_parser_roundtrips_whatever_it_accepts(text):
+    try:
+        expr = parse_prerequisites(text)
+    except PrerequisiteParseError:
+        return
+    reparsed = parse_prerequisites(expr.to_string())
+    assert reparsed.to_dnf() == expr.to_dnf()

@@ -1,0 +1,182 @@
+"""Tests for ranked (top-k) generation and the ranking functions."""
+
+import math
+
+import pytest
+
+from repro.catalog import Catalog, Course, DeterministicOfferings, Schedule
+from repro.catalog.prereq import CourseReq, Or
+from repro.core import (
+    ExplorationConfig,
+    ReliabilityRanking,
+    TimeRanking,
+    WorkloadRanking,
+    generate_goal_driven,
+    generate_ranked,
+)
+from repro.core.ranking import RankingFunction
+from repro.errors import BudgetExceededError, ExplorationError
+from repro.requirements import CourseSetGoal
+from repro.semester import Term
+
+from .conftest import F11, F12, S12, S13
+
+GOAL = CourseSetGoal({"11A", "29A", "21A"})
+
+
+class TestRankingFunctions:
+    def test_time_ranking_edge_cost(self):
+        assert TimeRanking().edge_cost({"A", "B"}, F11) == 1.0
+        assert TimeRanking().edge_cost(frozenset(), F11) == 1.0
+
+    def test_workload_ranking(self, fig3_catalog):
+        ranking = WorkloadRanking(fig3_catalog)
+        # default workload is 10.0/course
+        assert ranking.edge_cost({"11A", "29A"}, F11) == 20.0
+        assert ranking.edge_cost(frozenset(), F11) == 0.0
+
+    def test_reliability_ranking(self, fig3_catalog):
+        model = DeterministicOfferings(fig3_catalog.schedule)
+        ranking = ReliabilityRanking(model)
+        assert ranking.edge_cost({"11A"}, F11) == 0.0  # certain
+        assert math.isinf(ranking.edge_cost({"21A"}, F11))  # not offered
+        assert ranking.score(0.0) == 1.0
+        assert ranking.score(math.inf) == 0.0
+
+    def test_reliability_cost_is_log_product(self):
+        class Half:
+            def selection_probability(self, ids, term):
+                return 0.5 ** len(list(ids))
+
+        ranking = ReliabilityRanking(Half())
+        cost = ranking.edge_cost({"A", "B"}, F11)
+        assert cost == pytest.approx(-math.log(0.25))
+        assert ranking.score(cost) == pytest.approx(0.25)
+
+
+class TestTopKOnFig3:
+    def test_top1_shortest_is_two_semesters(self, fig3_catalog):
+        # §4.3.2's example: the shortest path takes {11A,29A} then {21A}.
+        result = generate_ranked(fig3_catalog, F11, GOAL, S13, 1, TimeRanking())
+        assert len(result.paths) == 1
+        assert result.costs == [2.0]
+        assert result.paths[0].selections == (
+            frozenset({"11A", "29A"}),
+            frozenset({"21A"}),
+        )
+
+    def test_costs_non_decreasing(self, fig3_catalog):
+        result = generate_ranked(fig3_catalog, F11, GOAL, S13, 10, TimeRanking())
+        assert result.costs == sorted(result.costs)
+
+    def test_exhausted_flag(self, fig3_catalog):
+        result = generate_ranked(fig3_catalog, F11, GOAL, S13, 50, TimeRanking())
+        assert result.exhausted
+        # Only one goal path exists within Spring '13 on Fig. 3's catalog
+        # (the other branches cannot finish 21A in time).
+        goal_paths = generate_goal_driven(fig3_catalog, F11, GOAL, S13)
+        assert len(result.paths) == goal_paths.path_count
+
+    def test_topk_matches_full_enumeration_prefix(self, fig3_catalog):
+        # All goal paths, brute-force sorted by cost, must equal the
+        # best-first prefix (Lemma 2).
+        ranking = WorkloadRanking(fig3_catalog)
+        everything = generate_goal_driven(fig3_catalog, F11, GOAL, S13, pruners=[])
+        brute = sorted(ranking.path_cost(p) for p in everything.paths())
+        result = generate_ranked(fig3_catalog, F11, GOAL, S13, len(brute), ranking)
+        assert result.costs == brute
+
+    def test_k_must_be_positive(self, fig3_catalog):
+        with pytest.raises(ExplorationError):
+            generate_ranked(fig3_catalog, F11, GOAL, S13, 0, TimeRanking())
+
+    def test_budget(self, fig3_catalog):
+        with pytest.raises(BudgetExceededError):
+            generate_ranked(
+                fig3_catalog, F11, GOAL, S13, 5, TimeRanking(),
+                config=ExplorationConfig(max_nodes=2),
+            )
+
+    def test_goal_at_start(self, fig3_catalog):
+        result = generate_ranked(
+            fig3_catalog, F11, CourseSetGoal({"11A"}), S13, 3, TimeRanking(),
+            completed={"11A"},
+        )
+        assert len(result.paths) == 1
+        assert result.costs == [0.0]
+
+    def test_negative_edge_cost_rejected(self, fig3_catalog):
+        class Negative(RankingFunction):
+            name = "negative"
+
+            def edge_cost(self, selection, term):
+                return -1.0
+
+        with pytest.raises(ExplorationError, match="negative edge cost"):
+            generate_ranked(fig3_catalog, F11, GOAL, S13, 1, Negative())
+
+    def test_ranked_result_helpers(self, fig3_catalog):
+        result = generate_ranked(fig3_catalog, F11, GOAL, S13, 1, TimeRanking())
+        assert len(result) == 1
+        pairs = result.ranked()
+        assert pairs[0][0] == result.costs[0]
+        assert pairs[0][1] == result.paths[0]
+
+
+class TestWorkloadOrdering:
+    @pytest.fixture
+    def weighted_catalog(self):
+        """Two routes to a goal with different workloads."""
+        return Catalog(
+            [
+                Course("easy", workload_hours=2),
+                Course("hard", workload_hours=20),
+                Course(
+                    "end",
+                    workload_hours=5,
+                    prereq=Or(CourseReq("easy"), CourseReq("hard")),
+                ),
+            ],
+            schedule=Schedule(
+                {
+                    "easy": {F11},
+                    "hard": {F11},
+                    "end": {S12},
+                }
+            ),
+        )
+
+    def test_workload_prefers_light_route(self, weighted_catalog):
+        goal = CourseSetGoal({"end"})
+        result = generate_ranked(
+            weighted_catalog, F11, goal, F12, 2, WorkloadRanking(weighted_catalog)
+        )
+        assert len(result.paths) >= 1
+        first = result.paths[0]
+        assert "easy" in first.courses_taken()
+        assert "hard" not in first.courses_taken()
+
+
+class TestReliabilityOrdering:
+    def test_prefers_certain_offerings(self, fig3_catalog):
+        class Model:
+            """29A in Fall '12 is uncertain; everything else certain."""
+
+            def probability(self, course_id, term):
+                if course_id == "29A" and term == F12:
+                    return 0.3
+                return 1.0
+
+            def selection_probability(self, ids, term):
+                result = 1.0
+                for course_id in ids:
+                    result *= self.probability(course_id, term)
+                return result
+
+        ranking = ReliabilityRanking(Model())
+        result = generate_ranked(fig3_catalog, F11, GOAL, S13, 2, ranking)
+        # The most reliable path takes 29A in Fall '11 (certain), not F12.
+        first = result.paths[0]
+        first_fall_selection = first.selections[0]
+        assert "29A" in first_fall_selection
+        assert ranking.score(result.costs[0]) == pytest.approx(1.0)

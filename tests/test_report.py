@@ -1,0 +1,115 @@
+"""Tests for the exploration report builder and the lint CLI command."""
+
+import pytest
+
+from repro.core import (
+    ExplorationConfig,
+    MaxWorkloadPerTerm,
+    TimeRanking,
+    generate_goal_driven,
+    generate_ranked,
+)
+from repro.requirements import CourseSetGoal
+from repro.system import build_goal_report
+from repro.system.cli import main
+
+from .conftest import F11, F12, S12, S13
+
+GOAL = CourseSetGoal({"11A", "29A", "21A"})
+
+
+class TestGoalReport:
+    @pytest.fixture
+    def report(self, fig3_catalog):
+        result = generate_goal_driven(fig3_catalog, F11, GOAL, S13)
+        ranked = generate_ranked(fig3_catalog, F11, GOAL, S13, 2, TimeRanking())
+        return build_goal_report(
+            fig3_catalog, GOAL, F11, S13, result, ranked=ranked
+        )
+
+    def test_header_facts(self, report):
+        assert "complete {11A, 21A, 29A}" in report
+        assert "Fall 2011" in report and "Spring 2013" in report
+        assert "3 semesters" in report
+        assert "max 3 courses/term" in report
+
+    def test_headline_counts(self, report):
+        assert "2 learning paths satisfy the goal" in report
+        assert "subtrees pruned" in report
+
+    def test_recommended_plans_from_ranking(self, report):
+        assert "[1] time cost 2" in report
+        assert "Fall '11" in report
+
+    def test_profile_section(self, report):
+        assert "lengths 2-3 semesters" in report
+        assert "most common courses" in report
+
+    def test_branching_section(self, report):
+        assert "per-term branching" in report
+        assert "statuses" in report
+
+    def test_without_ranked_lists_generated_paths(self, fig3_catalog):
+        result = generate_goal_driven(fig3_catalog, F11, GOAL, S13)
+        report = build_goal_report(fig3_catalog, GOAL, F11, S13, result)
+        assert "[1]" in report
+
+    def test_no_paths_message(self, fig3_catalog):
+        impossible = CourseSetGoal({"21A"})
+        result = generate_goal_driven(fig3_catalog, F11, impossible, S12)
+        report = build_goal_report(fig3_catalog, impossible, F11, S12, result)
+        assert "no satisfying plans" in report
+
+    def test_constraints_echoed(self, fig3_catalog):
+        config = ExplorationConfig(
+            constraints=(MaxWorkloadPerTerm(fig3_catalog, 25),),
+            avoid_courses=frozenset({"29A"}),
+        )
+        result = generate_goal_driven(
+            fig3_catalog, F11, CourseSetGoal({"11A"}), S13, config=config
+        )
+        report = build_goal_report(
+            fig3_catalog, CourseSetGoal({"11A"}), F11, S13, result, config=config
+        )
+        assert "25 workload hours" in report
+        assert "avoiding 29A" in report
+
+
+class TestLintCommand:
+    def test_clean_builtin_catalog(self, capsys):
+        code = main(["lint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_broken_catalog_fails(self, capsys, tmp_path):
+        import json
+
+        # A catalog with a never-offered course, written directly as JSON.
+        data = {
+            "courses": [
+                {"course_id": "A"},
+                {"course_id": "B"},
+            ],
+            "schedule": {"A": ["Fall 2011"]},
+        }
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(data))
+        code = main(["lint", "--catalog", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "never-offered" in out
+
+    def test_errors_only_suppresses_infos(self, capsys, tmp_path):
+        import json
+
+        data = {
+            "courses": [{"course_id": "A"}],
+            "schedule": {"A": ["Fall 2011"]},
+        }
+        path = tmp_path / "cat.json"
+        path.write_text(json.dumps(data))
+        code = main(["lint", "--catalog", str(path), "--errors-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unused-as-prerequisite" not in out

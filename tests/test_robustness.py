@@ -1,0 +1,121 @@
+"""Tests for plan-risk assessment and Monte Carlo survival."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import assess_plan, monte_carlo_survival
+from repro.catalog import DeterministicOfferings
+from repro.core import generate_deadline_driven
+from repro.graph import EnrollmentStatus, LearningPath
+from repro.semester import Term
+
+from .conftest import F11, F12, S12, S13
+
+
+class _FixedModel:
+    """Per-(course, season) probabilities for testing."""
+
+    def __init__(self, table, default=1.0):
+        self._table = dict(table)
+        self._default = default
+
+    def probability(self, course_id, term):
+        return self._table.get((course_id, term.season), self._default)
+
+    def selection_probability(self, ids, term):
+        result = 1.0
+        for course_id in ids:
+            result *= self.probability(course_id, term)
+        return result
+
+
+@pytest.fixture
+def plan(fig3_catalog):
+    paths = list(generate_deadline_driven(fig3_catalog, F11, S13).paths())
+    # The 11A -> 21A -> 29A plan (three terms, three courses).
+    return next(
+        p for p in paths if len(p) == 3 and len(p.courses_taken()) == 3
+    )
+
+
+class TestAssessPlan:
+    def test_certain_plan(self, fig3_catalog, plan):
+        model = DeterministicOfferings(fig3_catalog.schedule)
+        risk = assess_plan(plan, model)
+        assert risk.reliability == 1.0
+        assert risk.certain
+        assert "certain" in risk.describe()
+
+    def test_risky_plan(self, plan):
+        model = _FixedModel({("29A", "Fall"): 0.4})
+        risk = assess_plan(plan, model)
+        assert risk.reliability == pytest.approx(0.4)
+        assert not risk.certain
+        weakest = risk.weakest(1)[0]
+        assert weakest.course_id == "29A"
+        assert weakest.probability == pytest.approx(0.4)
+        assert "29A" in risk.describe()
+
+    def test_steps_enumerate_every_course(self, plan):
+        model = _FixedModel({})
+        risk = assess_plan(plan, model)
+        assert {(s.course_id) for s in risk.steps} == {"11A", "21A", "29A"}
+
+    def test_empty_plan(self):
+        path = LearningPath([EnrollmentStatus(F11, frozenset())], [])
+        risk = assess_plan(path, _FixedModel({}))
+        assert risk.reliability == 1.0
+        assert risk.steps == ()
+
+
+class TestMonteCarlo:
+    def test_certain_plan_always_survives(self, fig3_catalog, plan):
+        model = DeterministicOfferings(fig3_catalog.schedule)
+        assert monte_carlo_survival(plan, model, trials=200, seed=1) == 1.0
+
+    def test_impossible_plan_never_survives(self, plan):
+        model = _FixedModel({("29A", "Fall"): 0.0})
+        assert monte_carlo_survival(plan, model, trials=200, seed=1) == 0.0
+
+    def test_estimates_analytic_reliability(self, plan):
+        model = _FixedModel({("29A", "Fall"): 0.5, ("21A", "Spring"): 0.8})
+        analytic = plan.reliability(model)
+        empirical = monte_carlo_survival(plan, model, trials=20_000, seed=7)
+        assert empirical == pytest.approx(analytic, abs=0.02)
+
+    def test_deterministic_for_seed(self, plan):
+        model = _FixedModel({("29A", "Fall"): 0.5})
+        a = monte_carlo_survival(plan, model, trials=500, seed=3)
+        b = monte_carlo_survival(plan, model, trials=500, seed=3)
+        assert a == b
+
+    def test_bad_trials(self, plan):
+        with pytest.raises(ValueError):
+            monte_carlo_survival(plan, _FixedModel({}), trials=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p1=st.floats(min_value=0.1, max_value=1.0),
+    p2=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_monte_carlo_matches_product_property(p1, p2):
+    """Survival estimates the product of step probabilities."""
+    s0 = EnrollmentStatus(F11, frozenset())
+    s1 = EnrollmentStatus(S12, frozenset({"A"}))
+    s2 = EnrollmentStatus(F12, frozenset({"A", "B"}))
+    path = LearningPath([s0, s1, s2], [frozenset({"A"}), frozenset({"B"})])
+
+    class Model:
+        def probability(self, course_id, term):
+            return p1 if course_id == "A" else p2
+
+        def selection_probability(self, ids, term):
+            result = 1.0
+            for cid in ids:
+                result *= self.probability(cid, term)
+            return result
+
+    analytic = path.reliability(Model())
+    empirical = monte_carlo_survival(path, Model(), trials=8000, seed=11)
+    assert empirical == pytest.approx(analytic, abs=0.05)

@@ -1,0 +1,166 @@
+"""Tests for schedules and offering-probability models."""
+
+import pytest
+
+from repro.catalog import (
+    DeterministicOfferings,
+    HistoricalOfferingModel,
+    Schedule,
+)
+from repro.errors import CatalogError
+from repro.semester import Term
+
+F11, S12, F12, S13, F13 = (
+    Term(2011, "Fall"),
+    Term(2012, "Spring"),
+    Term(2012, "Fall"),
+    Term(2013, "Spring"),
+    Term(2013, "Fall"),
+)
+
+
+@pytest.fixture
+def fig3_schedule():
+    """The paper's Fig. 3 schedule."""
+    return Schedule(
+        {
+            "11A": {F11, F12},
+            "29A": {F11, F12},
+            "21A": {S12},
+        }
+    )
+
+
+class TestScheduleQueries:
+    def test_offerings(self, fig3_schedule):
+        assert fig3_schedule.offerings("11A") == {F11, F12}
+        assert fig3_schedule.offerings("21A") == {S12}
+
+    def test_offerings_unknown_course_empty(self, fig3_schedule):
+        assert fig3_schedule.offerings("99Z") == frozenset()
+
+    def test_is_offered(self, fig3_schedule):
+        assert fig3_schedule.is_offered("11A", F11)
+        assert not fig3_schedule.is_offered("11A", S12)
+
+    def test_offered_in(self, fig3_schedule):
+        assert fig3_schedule.offered_in(F11) == {"11A", "29A"}
+        assert fig3_schedule.offered_in(S12) == {"21A"}
+        assert fig3_schedule.offered_in(S13) == frozenset()
+
+    def test_offered_between(self, fig3_schedule):
+        assert fig3_schedule.offered_between(S12, F12) == {"21A", "11A", "29A"}
+        assert fig3_schedule.offered_between(S13, F13) == frozenset()
+
+    def test_course_ids_terms_span(self, fig3_schedule):
+        assert fig3_schedule.course_ids() == {"11A", "29A", "21A"}
+        assert fig3_schedule.terms() == {F11, S12, F12}
+        assert fig3_schedule.span() == (F11, F12)
+
+    def test_empty_schedule(self):
+        schedule = Schedule()
+        assert schedule.span() is None
+        assert len(schedule) == 0
+        assert schedule.offered_in(F11) == frozenset()
+
+    def test_mapping_protocol(self, fig3_schedule):
+        assert "11A" in fig3_schedule
+        assert "99Z" not in fig3_schedule
+        assert set(fig3_schedule) == {"11A", "29A", "21A"}
+        assert len(fig3_schedule) == 3
+
+    def test_equality(self, fig3_schedule):
+        clone = Schedule({"11A": {F11, F12}, "29A": {F11, F12}, "21A": {S12}})
+        assert clone == fig3_schedule
+        assert hash(clone) == hash(fig3_schedule)
+
+    def test_non_term_rejected(self):
+        with pytest.raises(TypeError):
+            Schedule({"A": {"Fall 2011"}})
+
+
+class TestScheduleDerivation:
+    def test_merged_with(self, fig3_schedule):
+        extra = Schedule({"11A": {S13}, "99Z": {S13}})
+        merged = fig3_schedule.merged_with(extra)
+        assert merged.offerings("11A") == {F11, F12, S13}
+        assert merged.offerings("99Z") == {S13}
+
+    def test_restricted_to(self, fig3_schedule):
+        window = fig3_schedule.restricted_to(S12, F12)
+        assert window.offerings("11A") == {F12}
+        assert "29A" in window
+        assert window.offerings("21A") == {S12}
+
+    def test_restricted_drops_empty_courses(self, fig3_schedule):
+        window = fig3_schedule.restricted_to(S13, F13)
+        assert len(window) == 0
+
+    def test_without_courses(self, fig3_schedule):
+        reduced = fig3_schedule.without_courses({"21A"})
+        assert "21A" not in reduced
+        assert "11A" in reduced
+
+    def test_dict_roundtrip(self, fig3_schedule):
+        assert Schedule.from_dict(fig3_schedule.to_dict()) == fig3_schedule
+
+
+class TestDeterministicOfferings:
+    def test_probability(self, fig3_schedule):
+        model = DeterministicOfferings(fig3_schedule)
+        assert model.probability("11A", F11) == 1.0
+        assert model.probability("11A", S12) == 0.0
+
+    def test_selection_probability(self, fig3_schedule):
+        model = DeterministicOfferings(fig3_schedule)
+        assert model.selection_probability({"11A", "29A"}, F11) == 1.0
+        assert model.selection_probability({"11A", "21A"}, F11) == 0.0
+        assert model.selection_probability(frozenset(), S13) == 1.0
+
+
+class TestHistoricalOfferingModel:
+    @pytest.fixture
+    def model(self, fig3_schedule):
+        # History window Spring '09 – Fall '10 (2 springs, 2 falls):
+        # 11A offered both falls, 21A offered one of the two springs.
+        history = Schedule(
+            {
+                "11A": {Term(2009, "Fall"), Term(2010, "Fall")},
+                "21A": {Term(2010, "Spring")},
+            }
+        )
+        return HistoricalOfferingModel.from_history(
+            history,
+            Term(2009, "Spring"),
+            Term(2010, "Fall"),
+            released=fig3_schedule,
+            release_horizon_end=S12,
+        )
+
+    def test_inside_horizon_is_certain(self, model):
+        assert model.probability("11A", F11) == 1.0
+        assert model.probability("21A", F11) == 0.0
+        assert model.probability("21A", S12) == 1.0
+
+    def test_beyond_horizon_uses_frequency(self, model):
+        assert model.probability("11A", F12) == 1.0  # offered 2/2 falls
+        assert model.probability("21A", Term(2013, "Spring")) == 0.5  # 1/2 springs
+        assert model.probability("21A", F12) == 0.0  # never offered in fall
+
+    def test_unknown_course_is_zero(self, model):
+        assert model.probability("99Z", F12) == 0.0
+
+    def test_bad_probability_rejected(self, fig3_schedule):
+        with pytest.raises(CatalogError):
+            HistoricalOfferingModel(fig3_schedule, S12, {("11A", "Fall"): 1.5})
+
+    def test_projected_schedule(self, model):
+        projected = model.projected_schedule(["11A", "21A"], F11, F13, threshold=0.0)
+        # 11A: certain F11, frequency 1.0 in F12/F13; never in springs.
+        assert projected.offerings("11A") == {F11, F12, F13}
+        # 21A: certain S12; frequency 0.5 in S13.
+        assert projected.offerings("21A") == {S12, S13}
+
+    def test_projected_schedule_threshold(self, model):
+        projected = model.projected_schedule(["21A"], F11, F13, threshold=0.6)
+        assert projected.offerings("21A") == {S12}

@@ -1,0 +1,101 @@
+"""Tests for the registrar schedule parser."""
+
+import pytest
+
+from repro.errors import ScheduleParseError
+from repro.parsing import parse_schedule_csv, parse_schedule_lines, parse_schedule_text
+from repro.parsing.schedule_parser import schedule_to_rows
+from repro.semester import Term
+
+F11, S12, F12 = Term(2011, "Fall"), Term(2012, "Spring"), Term(2012, "Fall")
+
+
+class TestLineFormat:
+    def test_basic(self):
+        schedule = parse_schedule_text(
+            "COSI 11a: Fall 2011, Spring 2012\n"
+            "COSI 21a: Spring '12\n"
+        )
+        assert schedule.offerings("COSI 11a") == {F11, S12}
+        assert schedule.offerings("COSI 21a") == {S12}
+
+    def test_pipe_and_tab_separators(self):
+        schedule = parse_schedule_text("A | Fall 2011\nB\tSpring 2012")
+        assert schedule.offerings("A") == {F11}
+        assert schedule.offerings("B") == {S12}
+
+    def test_semicolon_term_separator(self):
+        schedule = parse_schedule_text("A: Fall 2011; Fall 2012")
+        assert schedule.offerings("A") == {F11, F12}
+
+    def test_comments_and_blank_lines(self):
+        schedule = parse_schedule_text(
+            "# registrar export\n"
+            "\n"
+            "A: Fall 2011  # offered yearly\n"
+        )
+        assert schedule.offerings("A") == {F11}
+
+    def test_repeated_course_lines_merge(self):
+        schedule = parse_schedule_text("A: Fall 2011\nA: Spring 2012")
+        assert schedule.offerings("A") == {F11, S12}
+
+    def test_missing_separator_raises(self):
+        with pytest.raises(ScheduleParseError, match="line 1"):
+            parse_schedule_text("COSI 11a Fall 2011")
+
+    def test_empty_course_id_raises(self):
+        with pytest.raises(ScheduleParseError, match="empty course id"):
+            parse_schedule_text(": Fall 2011")
+
+    def test_bad_term_raises_with_line_number(self):
+        with pytest.raises(ScheduleParseError, match="line 2"):
+            parse_schedule_text("A: Fall 2011\nB: Autumn 2011")
+
+    def test_lines_iterable(self):
+        schedule = parse_schedule_lines(["A: Fall 2011"])
+        assert schedule.offerings("A") == {F11}
+
+    def test_empty_document(self):
+        assert len(parse_schedule_text("")) == 0
+
+
+class TestCsvFormat:
+    def test_basic(self):
+        schedule = parse_schedule_csv(
+            "course_id,term\nCOSI 11a,Fall 2011\nCOSI 11a,Spring 2012\n"
+        )
+        assert schedule.offerings("COSI 11a") == {F11, S12}
+
+    def test_header_optional(self):
+        schedule = parse_schedule_csv("A,Fall 2011\n")
+        assert schedule.offerings("A") == {F11}
+
+    def test_comment_rows_skipped(self):
+        schedule = parse_schedule_csv("# note\nA,Fall 2011\n\n")
+        assert schedule.offerings("A") == {F11}
+
+    def test_short_row_raises(self):
+        with pytest.raises(ScheduleParseError, match="row 1"):
+            parse_schedule_csv("A\n")
+
+    def test_empty_fields_raise(self):
+        with pytest.raises(ScheduleParseError):
+            parse_schedule_csv("A,\n")
+
+    def test_bad_term_raises(self):
+        with pytest.raises(ScheduleParseError, match="bad term"):
+            parse_schedule_csv("A,sometime\n")
+
+
+class TestRowsRoundtrip:
+    def test_schedule_to_rows_roundtrips(self):
+        schedule = parse_schedule_text("B: Spring 2012\nA: Fall 2011, Fall 2012")
+        rows = schedule_to_rows(schedule)
+        assert rows == [
+            ("A", "Fall 2011"),
+            ("A", "Fall 2012"),
+            ("B", "Spring 2012"),
+        ]
+        csv_text = "\n".join(f"{c},{t}" for c, t in rows)
+        assert parse_schedule_csv(csv_text) == schedule

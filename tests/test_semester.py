@@ -1,0 +1,211 @@
+"""Tests for terms, calendars, and semester arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ScheduleParseError
+from repro.semester import (
+    SPRING_FALL,
+    SPRING_SUMMER_FALL,
+    AcademicCalendar,
+    Term,
+    parse_term,
+    term_range,
+)
+
+
+class TestAcademicCalendar:
+    def test_default_seasons(self):
+        assert SPRING_FALL.seasons == ("Spring", "Fall")
+        assert len(SPRING_FALL) == 2
+
+    def test_three_season_calendar(self):
+        assert SPRING_SUMMER_FALL.seasons == ("Spring", "Summer", "Fall")
+
+    def test_season_index_case_insensitive(self):
+        assert SPRING_FALL.season_index("fall") == 1
+        assert SPRING_FALL.season_index("SPRING") == 0
+
+    def test_unknown_season_raises(self):
+        with pytest.raises(ValueError, match="unknown season"):
+            SPRING_FALL.season_index("Winter")
+
+    def test_empty_calendar_rejected(self):
+        with pytest.raises(ValueError):
+            AcademicCalendar(())
+
+    def test_duplicate_season_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AcademicCalendar(("Fall", "fall"))
+
+    def test_blank_season_rejected(self):
+        with pytest.raises(ValueError):
+            AcademicCalendar(("Fall", "  "))
+
+    def test_structural_equality_and_hash(self):
+        a = AcademicCalendar(("Spring", "Fall"))
+        assert a == SPRING_FALL
+        assert hash(a) == hash(SPRING_FALL)
+        assert a != SPRING_SUMMER_FALL
+
+
+class TestTermBasics:
+    def test_season_canonicalized(self):
+        assert Term(2011, "fall").season == "Fall"
+        assert Term(2011, "fall") == Term(2011, "Fall")
+
+    def test_non_int_year_rejected(self):
+        with pytest.raises(TypeError):
+            Term("2011", "Fall")
+
+    def test_unknown_season_rejected(self):
+        with pytest.raises(ValueError):
+            Term(2011, "Winter")
+
+    def test_str_and_short(self):
+        term = Term(2011, "Fall")
+        assert str(term) == "Fall 2011"
+        assert term.short == "Fall '11"
+
+    def test_short_pads_year(self):
+        assert Term(2005, "Spring").short == "Spring '05"
+
+    def test_hashable_usable_in_sets(self):
+        assert len({Term(2011, "Fall"), Term(2011, "fall"), Term(2012, "Fall")}) == 2
+
+
+class TestTermArithmetic:
+    def test_fall_plus_one_is_next_spring(self):
+        assert Term(2011, "Fall") + 1 == Term(2012, "Spring")
+
+    def test_spring_plus_one_is_same_year_fall(self):
+        assert Term(2012, "Spring") + 1 == Term(2012, "Fall")
+
+    def test_paper_sequence(self):
+        # Fall '11 -> Spring '12 -> Fall '12 (Fig. 1 / Fig. 3)
+        term = Term(2011, "Fall")
+        assert term + 1 == Term(2012, "Spring")
+        assert term + 2 == Term(2012, "Fall")
+
+    def test_subtraction_of_int(self):
+        assert Term(2012, "Spring") - 1 == Term(2011, "Fall")
+
+    def test_difference_of_terms(self):
+        assert Term(2015, "Fall") - Term(2012, "Fall") == 6
+        assert Term(2012, "Fall") - Term(2015, "Fall") == -6
+
+    def test_next_previous(self):
+        term = Term(2013, "Fall")
+        assert term.next() == Term(2014, "Spring")
+        assert term.previous() == Term(2013, "Spring")
+
+    def test_ordering(self):
+        assert Term(2011, "Fall") < Term(2012, "Spring") < Term(2012, "Fall")
+        assert Term(2012, "Fall") >= Term(2012, "Spring")
+
+    def test_cross_calendar_comparison_raises(self):
+        with pytest.raises(ValueError, match="different calendars"):
+            _ = Term(2011, "Fall") < Term(2011, "Fall", SPRING_SUMMER_FALL)
+
+    def test_cross_calendar_difference_raises(self):
+        with pytest.raises(ValueError, match="different calendars"):
+            _ = Term(2011, "Fall") - Term(2011, "Fall", SPRING_SUMMER_FALL)
+
+    def test_three_season_arithmetic(self):
+        term = Term(2011, "Spring", SPRING_SUMMER_FALL)
+        assert term + 1 == Term(2011, "Summer", SPRING_SUMMER_FALL)
+        assert term + 3 == Term(2012, "Spring", SPRING_SUMMER_FALL)
+
+    def test_radd(self):
+        assert 2 + Term(2011, "Fall") == Term(2012, "Fall")
+
+    def test_add_non_int_not_supported(self):
+        with pytest.raises(TypeError):
+            _ = Term(2011, "Fall") + 1.5
+
+
+class TestTermParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Fall 2011", Term(2011, "Fall")),
+            ("Fall '11", Term(2011, "Fall")),
+            ("Fall‘11", Term(2011, "Fall")),  # the paper's typography
+            ("spring 2012", Term(2012, "Spring")),
+            ("2012 Spring", Term(2012, "Spring")),
+            ("F11", Term(2011, "Fall")),
+            ("Sp2012", Term(2012, "Spring")),
+            ("  Fall  2011  ", Term(2011, "Fall")),
+            ("Fall 99", Term(1999, "Fall")),
+        ],
+    )
+    def test_accepted_spellings(self, text, expected):
+        assert Term.parse(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "Fall", "2011", "Winter 2011", "Fall twenty"])
+    def test_rejected_spellings(self, text):
+        with pytest.raises(ScheduleParseError):
+            Term.parse(text)
+
+    def test_parse_term_alias(self):
+        assert parse_term("Fall 2011") == Term(2011, "Fall")
+
+    def test_parse_with_custom_calendar(self):
+        term = Term.parse("Summer 2011", SPRING_SUMMER_FALL)
+        assert term == Term(2011, "Summer", SPRING_SUMMER_FALL)
+
+
+class TestTermRange:
+    def test_inclusive(self):
+        terms = list(term_range(Term(2011, "Fall"), Term(2012, "Fall")))
+        assert terms == [Term(2011, "Fall"), Term(2012, "Spring"), Term(2012, "Fall")]
+
+    def test_exclusive(self):
+        terms = list(term_range(Term(2011, "Fall"), Term(2012, "Fall"), inclusive=False))
+        assert terms == [Term(2011, "Fall"), Term(2012, "Spring")]
+
+    def test_empty_when_reversed(self):
+        assert list(term_range(Term(2012, "Fall"), Term(2011, "Fall"))) == []
+
+    def test_single_term(self):
+        assert list(term_range(Term(2011, "Fall"), Term(2011, "Fall"))) == [Term(2011, "Fall")]
+
+    def test_cross_calendar_raises(self):
+        with pytest.raises(ValueError):
+            list(term_range(Term(2011, "Fall"), Term(2012, "Fall", SPRING_SUMMER_FALL)))
+
+
+@given(st.integers(min_value=0, max_value=10000))
+def test_ordinal_roundtrip(ordinal):
+    term = Term.from_ordinal(ordinal)
+    assert term.ordinal == ordinal
+
+
+@given(
+    st.integers(min_value=1900, max_value=2100),
+    st.sampled_from(["Spring", "Fall"]),
+    st.integers(min_value=-50, max_value=50),
+)
+def test_add_then_subtract_roundtrip(year, season, delta):
+    term = Term(year, season)
+    assert (term + delta) - delta == term
+    assert (term + delta) - term == delta
+
+
+@given(
+    st.integers(min_value=1900, max_value=2100),
+    st.sampled_from(["Spring", "Fall"]),
+)
+def test_parse_str_roundtrip(year, season):
+    term = Term(year, season)
+    assert Term.parse(str(term)) == term
+
+
+@given(
+    # two-digit years are only unambiguous inside the 1970–2069 window
+    st.integers(min_value=1970, max_value=2069),
+    st.sampled_from(["Spring", "Fall"]),
+)
+def test_parse_short_roundtrip(year, season):
+    term = Term(year, season)
+    assert Term.parse(term.short) == term

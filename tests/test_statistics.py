@@ -1,0 +1,67 @@
+"""Tests for path-set statistics."""
+
+from repro.analysis import summarize_paths
+from repro.analysis.statistics import prefix_overlap_profile
+from repro.core import generate_deadline_driven, generate_goal_driven
+from repro.requirements import CourseSetGoal
+
+from .conftest import F11, F12, S13
+
+
+class TestSummarizePaths:
+    def test_empty(self):
+        summary = summarize_paths([])
+        assert summary.count == 0
+        assert summary.min_length is None
+        assert summary.most_common_courses() == []
+
+    def test_fig3_deadline_summary(self, fig3_catalog):
+        paths = list(generate_deadline_driven(fig3_catalog, F11, S13).paths())
+        summary = summarize_paths(paths, fig3_catalog)
+        assert summary.count == 3
+        assert summary.min_length == 2
+        assert summary.max_length == 3
+        assert summary.mean_length == (3 + 2 + 3) / 3
+        # Courses per path: 3, 3, 2.
+        assert summary.mean_courses == (3 + 3 + 2) / 3
+        # Default workload 10h/course.
+        assert summary.min_workload == 20.0
+        assert summary.max_workload == 30.0
+
+    def test_course_frequency(self, fig3_catalog):
+        paths = list(generate_deadline_driven(fig3_catalog, F11, S13).paths())
+        summary = summarize_paths(paths)
+        frequency = dict(summary.most_common_courses(10))
+        assert frequency["11A"] == 3
+        assert frequency["29A"] == 3
+        assert frequency["21A"] == 2
+
+    def test_no_catalog_skips_workload(self, fig3_catalog):
+        paths = list(generate_deadline_driven(fig3_catalog, F11, S13).paths())
+        summary = summarize_paths(paths)
+        assert summary.min_workload is None
+        assert summary.mean_workload == 0.0
+
+    def test_accepts_generator(self, fig3_catalog):
+        result = generate_deadline_driven(fig3_catalog, F11, S13)
+        summary = summarize_paths(result.paths())
+        assert summary.count == 3
+
+
+class TestPrefixOverlap:
+    def test_empty(self):
+        assert prefix_overlap_profile([]) == []
+
+    def test_fig3_profile(self, fig3_catalog):
+        paths = list(generate_deadline_driven(fig3_catalog, F11, S13).paths())
+        profile = prefix_overlap_profile(paths)
+        # Depth 1: three distinct first selections; all paths diverge
+        # immediately on this toy catalog.
+        assert profile[0] == 3
+        assert len(profile) == 3
+
+    def test_shared_prefix_detected(self, fig3_catalog):
+        goal = CourseSetGoal({"11A", "29A", "21A"})
+        paths = list(generate_goal_driven(fig3_catalog, F11, goal, F12).paths())
+        profile = prefix_overlap_profile(paths)
+        assert profile[0] == len({p.selections[:1] for p in paths})

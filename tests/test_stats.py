@@ -1,0 +1,83 @@
+"""Tests for run statistics containers."""
+
+from repro.core import ExplorationStats
+from repro.core.pruning import PruningStats, suppressed_selection_count
+
+
+class TestExplorationStats:
+    def test_counters(self):
+        stats = ExplorationStats()
+        stats.record_node()
+        stats.record_node()
+        stats.record_edge()
+        stats.record_terminal("goal")
+        stats.record_terminal("goal")
+        stats.record_terminal("deadline")
+        stats.record_prune("time")
+        stats.record_prune("time", 4)
+        stats.record_prune("availability")
+        stats.record_merge()
+        assert stats.nodes_created == 2
+        assert stats.edges_created == 1
+        assert stats.terminal_count("goal") == 2
+        assert stats.terminal_count("deadline") == 1
+        assert stats.terminal_count("dead_end") == 0
+        assert stats.total_prunes == 6
+        assert stats.prune_share("time") == 5 / 6
+        assert stats.merged_hits == 1
+
+    def test_prune_share_empty(self):
+        assert ExplorationStats().prune_share("time") == 0.0
+
+    def test_timer(self):
+        stats = ExplorationStats()
+        stats.start_timer()
+        stats.stop_timer()
+        assert stats.elapsed_seconds >= 0.0
+
+    def test_stop_without_start_is_noop(self):
+        stats = ExplorationStats()
+        stats.stop_timer()
+        assert stats.elapsed_seconds == 0.0
+
+    def test_as_dict_and_summary(self):
+        stats = ExplorationStats()
+        stats.record_node()
+        stats.record_terminal("goal")
+        data = stats.as_dict()
+        assert data["nodes_created"] == 1
+        assert data["terminals"] == {"goal": 1}
+        assert "1 nodes" in stats.summary()
+        assert "goal=1" in stats.summary()
+
+
+class TestPruningStats:
+    def test_record_and_share(self):
+        stats = PruningStats()
+        stats.record("time", 8)
+        stats.record("availability", 2)
+        assert stats.total == 10
+        assert stats.share("time") == 0.8
+        assert stats.share("availability") == 0.2
+        assert stats.as_dict() == {"time": 8, "availability": 2}
+
+    def test_share_empty(self):
+        assert PruningStats().share("time") == 0.0
+
+
+class TestSuppressedSelectionCount:
+    def test_no_floor_no_suppression(self):
+        assert suppressed_selection_count(5, 0) == 0
+        assert suppressed_selection_count(5, 1) == 0
+
+    def test_floor_two_counts_singletons(self):
+        assert suppressed_selection_count(5, 2) == 5
+
+    def test_floor_three_counts_singletons_and_pairs(self):
+        assert suppressed_selection_count(4, 3) == 4 + 6
+
+    def test_floor_beyond_options_counts_everything_below(self):
+        assert suppressed_selection_count(2, 5) == 2 + 1
+
+    def test_empty_options(self):
+        assert suppressed_selection_count(0, 3) == 0

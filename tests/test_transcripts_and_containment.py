@@ -1,0 +1,158 @@
+"""Tests for transcript simulation and the §5.2 containment experiment."""
+
+import pytest
+
+from repro.analysis import check_containment, is_generated_goal_path
+from repro.core import ExplorationConfig, generate_goal_driven
+from repro.data import simulate_transcripts
+from repro.data.generator import GeneratorSettings, random_catalog
+from repro.errors import ExplorationError
+from repro.graph import EnrollmentStatus, LearningPath
+from repro.requirements import CourseSetGoal
+from repro.semester import Term
+
+from .conftest import F11, F12, S12, S13
+
+GOAL = CourseSetGoal({"11A", "29A", "21A"})
+
+
+def _path(statuses_and_selections):
+    statuses, selections = statuses_and_selections
+    return LearningPath(statuses, selections)
+
+
+def _fig3_goal_path():
+    s0 = EnrollmentStatus(F11, frozenset())
+    s1 = EnrollmentStatus(S12, frozenset({"11A", "29A"}))
+    s2 = EnrollmentStatus(F12, frozenset({"11A", "29A", "21A"}))
+    return LearningPath(
+        [s0, s1, s2], [frozenset({"11A", "29A"}), frozenset({"21A"})]
+    )
+
+
+class TestIsGeneratedGoalPath:
+    def test_valid_path_contained(self, fig3_catalog):
+        verdict, reason = is_generated_goal_path(
+            fig3_catalog, GOAL, _fig3_goal_path(), F12
+        )
+        assert verdict, reason
+
+    def test_goal_not_reached(self, fig3_catalog):
+        s0 = EnrollmentStatus(F11, frozenset())
+        s1 = EnrollmentStatus(S12, frozenset({"11A"}))
+        path = LearningPath([s0, s1], [frozenset({"11A"})])
+        verdict, reason = is_generated_goal_path(fig3_catalog, GOAL, path, F12)
+        assert not verdict
+        assert "does not satisfy" in reason
+
+    def test_illegal_selection_detected(self, fig3_catalog):
+        # 21A in Fall '11: not offered and prerequisite unmet.
+        s0 = EnrollmentStatus(F11, frozenset())
+        s1 = EnrollmentStatus(S12, frozenset({"21A"}))
+        path = LearningPath([s0, s1], [frozenset({"21A"})])
+        verdict, reason = is_generated_goal_path(fig3_catalog, GOAL, path, S13)
+        assert not verdict
+        assert "not a legal move" in reason
+
+    def test_continuing_past_goal_rejected(self, fig3_catalog):
+        # The generator ends paths at the first goal status; a transcript
+        # that keeps taking courses afterwards is not one of its outputs.
+        base = _fig3_goal_path()
+        extra = EnrollmentStatus(S13, base.end.completed)
+        path = base.extended(frozenset(), extra)
+        verdict, reason = is_generated_goal_path(fig3_catalog, GOAL, path, S13)
+        assert not verdict
+        assert "already satisfied" in reason
+
+    def test_past_deadline_rejected(self, fig3_catalog):
+        verdict, reason = is_generated_goal_path(
+            fig3_catalog, GOAL, _fig3_goal_path(), S12
+        )
+        assert not verdict
+
+    def test_over_cap_selection_rejected(self, fig3_catalog):
+        config = ExplorationConfig(max_courses_per_term=1)
+        verdict, reason = is_generated_goal_path(
+            fig3_catalog, GOAL, _fig3_goal_path(), F12, config=config
+        )
+        assert not verdict
+
+    def test_agrees_with_generated_set(self, fig3_catalog):
+        result = generate_goal_driven(fig3_catalog, F11, GOAL, S13)
+        for path in result.paths():
+            verdict, reason = is_generated_goal_path(fig3_catalog, GOAL, path, S13)
+            assert verdict, reason
+
+
+class TestCheckContainment:
+    def test_report_all_contained(self, fig3_catalog):
+        report = check_containment(fig3_catalog, GOAL, [_fig3_goal_path()], F12)
+        assert report.all_contained
+        assert report.summary() == "1/1 paths contained"
+        assert report.containment_rate == 1.0
+
+    def test_report_with_failure(self, fig3_catalog):
+        bad = LearningPath([EnrollmentStatus(F11, frozenset())], [])
+        report = check_containment(
+            fig3_catalog, GOAL, [_fig3_goal_path(), bad], F12
+        )
+        assert not report.all_contained
+        assert report.contained == 1
+        assert len(report.failures) == 1
+        index, reason = report.failures[0]
+        assert index == 1
+
+    def test_empty_report(self, fig3_catalog):
+        report = check_containment(fig3_catalog, GOAL, [], F12)
+        assert report.all_contained
+        assert report.containment_rate == 1.0
+
+
+class TestSimulateTranscripts:
+    def test_simulation_on_fig3(self, fig3_catalog):
+        body = simulate_transcripts(
+            fig3_catalog, GOAL, F11, S13, count=10, seed=7
+        )
+        assert len(body.paths) == 10
+        assert body.successes == 10
+        assert 0 < body.success_rate <= 1.0
+        for path in body.paths:
+            assert GOAL.is_satisfied(path.end.completed)
+
+    def test_simulated_paths_all_contained(self, fig3_catalog):
+        """The §5.2 invariant: every feasible student path is generated."""
+        body = simulate_transcripts(fig3_catalog, GOAL, F11, S13, count=15, seed=3)
+        report = check_containment(fig3_catalog, GOAL, body.paths, S13)
+        assert report.all_contained, report.failures
+
+    def test_deterministic_for_seed(self, fig3_catalog):
+        a = simulate_transcripts(fig3_catalog, GOAL, F11, S13, count=5, seed=42)
+        b = simulate_transcripts(fig3_catalog, GOAL, F11, S13, count=5, seed=42)
+        assert [p.selections for p in a.paths] == [p.selections for p in b.paths]
+
+    def test_different_seeds_differ(self, fig3_catalog):
+        # A two-course goal admits several distinct orderings, so two seeds
+        # should not reproduce the same 12-student sequence.
+        goal = CourseSetGoal({"11A", "29A"})
+        a = simulate_transcripts(fig3_catalog, goal, F11, S13, count=12, seed=1)
+        b = simulate_transcripts(fig3_catalog, goal, F11, S13, count=12, seed=2)
+        assert [p.selections for p in a.paths] != [p.selections for p in b.paths]
+
+    def test_infeasible_goal_raises(self, fig3_catalog):
+        with pytest.raises(ExplorationError, match="infeasible"):
+            simulate_transcripts(
+                fig3_catalog,
+                CourseSetGoal({"21A"}),
+                F11,
+                S12,  # 21A cannot be completed by Spring '12
+                count=1,
+                max_attempts=10,
+            )
+
+    def test_simulation_on_random_catalogs(self):
+        catalog = random_catalog(5, GeneratorSettings(n_courses=6, n_terms=4, offer_probability=0.8))
+        start = Term(2011, "Fall")
+        goal = CourseSetGoal({sorted(catalog.course_ids())[0]})
+        body = simulate_transcripts(catalog, goal, start, start + 4, count=5, seed=1)
+        report = check_containment(catalog, goal, body.paths, start + 4)
+        assert report.all_contained, report.failures
