@@ -27,6 +27,7 @@ from repro.core import (
     generate_goal_driven,
 )
 from repro.core.pruning import AvailabilityPruner, PruningContext, TimeBasedPruner
+from repro.core.stats import ExplorationStats
 from repro.data import start_term_for_semesters
 from repro.data.brandeis import EVALUATION_END_TERM
 from repro.requirements.flow import FlowNetwork
@@ -158,6 +159,67 @@ class TestPrunerStackAblation:
         reversed_ = stack_results["availability + time (reversed)"]
         assert paper.path_count == reversed_.path_count
         assert paper.explored_path_count == reversed_.explored_path_count
+
+
+class TestHorizonSweepAggregate:
+    """Totals over a horizon sweep, folded with ``ExplorationStats.merge``."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, catalog, major_goal, paper_config):
+        runs = {}
+        for semesters in (2, 3, 4):
+            start = start_term_for_semesters(semesters)
+            runs[semesters] = generate_goal_driven(
+                catalog, start, major_goal, EVALUATION_END_TERM, config=paper_config
+            )
+        aggregate = ExplorationStats()
+        for result in runs.values():
+            aggregate.merge(result.stats)
+        return runs, aggregate
+
+    def test_report(self, sweep):
+        runs, aggregate = sweep
+        rows = [
+            (
+                str(semesters),
+                f"{result.stats.nodes_created:,}",
+                f"{result.stats.total_prunes:,}",
+                f"{result.stats.elapsed_seconds:.2f}s",
+            )
+            for semesters, result in sorted(runs.items())
+        ]
+        rows.append(
+            (
+                "total",
+                f"{aggregate.nodes_created:,}",
+                f"{aggregate.total_prunes:,}",
+                f"{aggregate.elapsed_seconds:.2f}s",
+            )
+        )
+        report_rows(
+            "Ablation — goal-driven horizon sweep (merged totals)",
+            ("semesters", "nodes", "prunes", "runtime"),
+            rows,
+        )
+
+    def test_merge_matches_per_run_sums(self, sweep):
+        runs, aggregate = sweep
+        assert aggregate.nodes_created == sum(
+            r.stats.nodes_created for r in runs.values()
+        )
+        assert aggregate.edges_created == sum(
+            r.stats.edges_created for r in runs.values()
+        )
+        assert aggregate.total_prunes == sum(
+            r.stats.total_prunes for r in runs.values()
+        )
+        for kind in aggregate.terminals:
+            assert aggregate.terminals[kind] == sum(
+                r.stats.terminals.get(kind, 0) for r in runs.values()
+            )
+        assert aggregate.elapsed_seconds == pytest.approx(
+            sum(r.stats.elapsed_seconds for r in runs.values())
+        )
 
 
 class TestSelectionFloorAblation:

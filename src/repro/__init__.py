@@ -33,6 +33,7 @@ Package map (details in DESIGN.md):
 - :mod:`repro.data` — the synthetic evaluation dataset and generators
 - :mod:`repro.system` — the CourseNavigator façade, visualizer, CLI
 - :mod:`repro.analysis` — containment checks and path statistics
+- :mod:`repro.obs` — span tracing, metrics registry, phase profiling
 """
 
 from .semester import AcademicCalendar, SPRING_FALL, Term, term_range
@@ -74,6 +75,13 @@ from .core import (
     generate_deadline_driven,
     generate_goal_driven,
     generate_ranked,
+)
+from .obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    Observability,
+    Tracer,
 )
 from .system import CourseNavigator
 
@@ -124,6 +132,12 @@ __all__ = [
     "WorkloadRanking",
     "ReliabilityRanking",
     "RankedResult",
+    # observability
+    "Tracer",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Observability",
     # system
     "CourseNavigator",
     "__version__",

@@ -19,6 +19,7 @@ from typing import AbstractSet, Iterator, Optional
 from ..catalog import Catalog
 from ..errors import BudgetExceededError, ExplorationError
 from ..graph import LearningGraph, LearningPath
+from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..semester import Term
 from .config import ExplorationConfig
 from .expansion import Expander
@@ -51,6 +52,7 @@ def generate_deadline_driven(
     end_term: Term,
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
+    obs: Optional[Observability] = None,
 ) -> DeadlineResult:
     """Algorithm 1: every learning path from ``start_term`` to ``end_term``.
 
@@ -67,6 +69,9 @@ def generate_deadline_driven(
     config:
         Constraints (``m``, avoid-list, …); defaults match the paper's
         evaluation (``m = 3``).
+    obs:
+        Optional :class:`~repro.obs.runtime.Observability`; when enabled,
+        the run emits a ``run:deadline`` span with ``expand`` phases.
 
     Returns
     -------
@@ -90,33 +95,38 @@ def generate_deadline_driven(
     if unknown:
         raise ExplorationError(f"completed courses not in catalog: {sorted(unknown)}")
 
+    if obs is None:
+        obs = NULL_OBSERVABILITY
     stats = ExplorationStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config)
+    expander = Expander(catalog, end_term, config, obs=obs)
     graph = LearningGraph(expander.initial_status(start_term, completed))
     stats.record_node()
 
-    stack = [graph.root_id]
-    while stack:
-        node_id = stack.pop()
-        status = graph.status(node_id)
-        if status.term >= end_term:
-            graph.mark_terminal(node_id, "deadline")
-            stats.record_terminal("deadline")
-            continue
-        expanded = False
-        for selection, child_status in expander.successors(status):
-            if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
-                stats.stop_timer()
-                raise BudgetExceededError("nodes", config.max_nodes, graph.num_nodes)
-            child_id = graph.add_child(node_id, selection, child_status)
-            stats.record_node()
-            stats.record_edge()
-            stack.append(child_id)
-            expanded = True
-        if not expanded:
-            graph.mark_terminal(node_id, "dead_end")
-            stats.record_terminal("dead_end")
+    with obs.run("deadline", start=str(start_term), end=str(end_term)):
+        stack = [graph.root_id]
+        while stack:
+            node_id = stack.pop()
+            status = graph.status(node_id)
+            if status.term >= end_term:
+                graph.mark_terminal(node_id, "deadline")
+                stats.record_terminal("deadline")
+                continue
+            expanded = False
+            with obs.phase("expand"):
+                for selection, child_status in expander.successors(status):
+                    if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
+                        stats.stop_timer()
+                        raise BudgetExceededError("nodes", config.max_nodes, graph.num_nodes)
+                    child_id = graph.add_child(node_id, selection, child_status)
+                    stats.record_node()
+                    stats.record_edge()
+                    stack.append(child_id)
+                    expanded = True
+            if not expanded:
+                graph.mark_terminal(node_id, "dead_end")
+                stats.record_terminal("dead_end")
 
     stats.stop_timer()
+    obs.record_run_stats("deadline", stats)
     return DeadlineResult(graph=graph, stats=stats)

@@ -36,11 +36,25 @@ class Expander:
         Student constraints and engine knobs.
     """
 
-    def __init__(self, catalog: Catalog, end_term: Term, config: ExplorationConfig):
+    def __init__(
+        self,
+        catalog: Catalog,
+        end_term: Term,
+        config: ExplorationConfig,
+        obs=None,
+    ):
         self._catalog = catalog
         self._end_term = end_term
         self._config = config
         self._schedule = config.schedule if config.schedule is not None else catalog.schedule
+        # Resolve the metrics counter once up front so options() pays only a
+        # None check per call when observability is off (the common case).
+        self._options_counter = None
+        if obs is not None and obs.metrics is not None:
+            self._options_counter = obs.metrics.counter(
+                "repro_option_sets_computed_total",
+                "eligible-course option sets computed by the expander",
+            )
 
     @property
     def catalog(self) -> Catalog:
@@ -62,6 +76,8 @@ class Expander:
     def options(self, completed: AbstractSet[str], term: Term) -> FrozenSet[str]:
         """The option set ``Y`` for ``completed`` at ``term``
         (honouring the avoid-list and schedule override)."""
+        if self._options_counter is not None:
+            self._options_counter.inc()
         return self._catalog.eligible_courses(
             completed,
             term,

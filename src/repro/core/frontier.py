@@ -29,6 +29,8 @@ from typing import AbstractSet, Dict, FrozenSet, List, Optional
 from ..catalog import Catalog
 from ..errors import BudgetExceededError, ExplorationError
 from ..graph.status import EnrollmentStatus
+from ..obs.runtime import NULL_OBSERVABILITY, Observability
+from ..obs.tracing import Stopwatch
 from ..requirements import Goal
 from ..semester import Term
 from .config import ExplorationConfig
@@ -95,11 +97,11 @@ def _run_frontier(
     time_pruner: Optional[TimeBasedPruner],
     count_dead_ends: bool,
     max_frontier: Optional[int],
+    obs: Observability,
 ) -> FrontierCount:
-    import time as _time
-
-    started = _time.perf_counter()
-    expander = Expander(catalog, end_term, config)
+    watch = Stopwatch()
+    watch.start()
+    expander = Expander(catalog, end_term, config, obs=obs)
     pruning_stats = PruningStats()
 
     frontier: Dict[FrozenSet[str], int] = {frozenset(completed): 1}
@@ -108,54 +110,78 @@ def _run_frontier(
     total_states = 1
     widths = [1]
     terminal_counts: Dict[str, int] = {}
+    instrumented = obs.enabled
 
     def _terminate(kind: str, multiplicity: int) -> None:
         terminal_counts[kind] = terminal_counts.get(kind, 0) + multiplicity
 
-    while frontier and term <= end_term:
-        next_frontier: Dict[FrozenSet[str], int] = {}
-        for state, multiplicity in frontier.items():
-            status = EnrollmentStatus(
-                term=term, completed=state, options=expander.options(state, term)
-            )
-            if goal is not None and goal.is_satisfied(state):
-                _terminate("goal", multiplicity)
-                continue
-            if term >= end_term:
-                _terminate("deadline", multiplicity)
-                continue
-            if goal is not None:
-                firing = first_firing_pruner(pruners, status)
-                if firing is not None:
-                    pruning_stats.record(firing.name)
-                    _terminate("pruned", multiplicity)
-                    continue
-                floor = _selection_floor(time_pruner, config, status)
-                suppressed = suppressed_selection_count(len(status.options), floor)
-                if suppressed:
-                    pruning_stats.record("time", suppressed)
-            else:
-                floor = 0
-            expanded = False
-            for _selection, child in expander.successors(status, required_minimum=floor):
-                key = child.completed
-                next_frontier[key] = next_frontier.get(key, 0) + multiplicity
-                expanded = True
-            if not expanded:
-                _terminate("dead_end", multiplicity)
-            # Check the budget as the layer grows (not just once it is
-            # complete) so an exploding layer fails fast instead of
-            # exhausting memory first.
-            if max_frontier is not None and len(next_frontier) > max_frontier:
-                raise BudgetExceededError(
-                    "frontier states", max_frontier, len(next_frontier)
+    with obs.run(
+        "frontier_goal" if goal is not None else "frontier_deadline",
+        start=str(start_term),
+        end=str(end_term),
+    ):
+        while frontier and term <= end_term:
+            next_frontier: Dict[FrozenSet[str], int] = {}
+            for state, multiplicity in frontier.items():
+                status = EnrollmentStatus(
+                    term=term, completed=state, options=expander.options(state, term)
                 )
-        frontier = next_frontier
-        term = term + 1
-        if frontier:
-            peak = max(peak, len(frontier))
-            total_states += len(frontier)
-            widths.append(len(frontier))
+                if goal is not None and goal.is_satisfied(state):
+                    _terminate("goal", multiplicity)
+                    continue
+                if term >= end_term:
+                    _terminate("deadline", multiplicity)
+                    continue
+                if goal is not None:
+                    with obs.phase("prune"):
+                        firing = first_firing_pruner(pruners, status, obs)
+                    if firing is not None:
+                        pruning_stats.record(firing.name)
+                        _terminate("pruned", multiplicity)
+                        continue
+                    floor = _selection_floor(time_pruner, config, status)
+                    suppressed = suppressed_selection_count(len(status.options), floor)
+                    if suppressed:
+                        pruning_stats.record("time", suppressed)
+                else:
+                    floor = 0
+                if instrumented:
+                    # Split successor generation from layer merging so the
+                    # two phases are visible separately in the breakdown.
+                    with obs.phase("expand"):
+                        children = [
+                            child.completed
+                            for _selection, child in expander.successors(
+                                status, required_minimum=floor
+                            )
+                        ]
+                    expanded = bool(children)
+                    with obs.phase("merge"):
+                        for key in children:
+                            next_frontier[key] = next_frontier.get(key, 0) + multiplicity
+                else:
+                    expanded = False
+                    for _selection, child in expander.successors(
+                        status, required_minimum=floor
+                    ):
+                        key = child.completed
+                        next_frontier[key] = next_frontier.get(key, 0) + multiplicity
+                        expanded = True
+                if not expanded:
+                    _terminate("dead_end", multiplicity)
+                # Check the budget as the layer grows (not just once it is
+                # complete) so an exploding layer fails fast instead of
+                # exhausting memory first.
+                if max_frontier is not None and len(next_frontier) > max_frontier:
+                    raise BudgetExceededError(
+                        "frontier states", max_frontier, len(next_frontier)
+                    )
+            frontier = next_frontier
+            term = term + 1
+            if frontier:
+                peak = max(peak, len(frontier))
+                total_states += len(frontier)
+                widths.append(len(frontier))
 
     if goal is not None:
         total = terminal_counts.get("goal", 0)
@@ -164,11 +190,12 @@ def _run_frontier(
         total = terminal_counts.get("deadline", 0) + (
             terminal_counts.get("dead_end", 0) if count_dead_ends else 0
         )
+    watch.stop()
     return FrontierCount(
         path_count=total,
         peak_frontier=peak,
         total_states=total_states,
-        elapsed_seconds=_time.perf_counter() - started,
+        elapsed_seconds=watch.elapsed,
         pruning_stats=pruning_stats if goal is not None else None,
         layer_widths=widths,
         terminal_path_counts=terminal_counts,
@@ -184,12 +211,15 @@ def frontier_count_goal_paths(
     config: Optional[ExplorationConfig] = None,
     pruners: Optional[List[Pruner]] = None,
     max_frontier: Optional[int] = None,
+    obs: Optional[Observability] = None,
 ) -> FrontierCount:
     """Exact goal-driven path count with one-layer memory.
 
     Semantics match :func:`~repro.core.goal_driven.generate_goal_driven`
     exactly; ``max_frontier`` bounds the widest layer, raising
-    :class:`~repro.errors.BudgetExceededError` beyond it.
+    :class:`~repro.errors.BudgetExceededError` beyond it.  ``obs`` is an
+    optional :class:`~repro.obs.runtime.Observability` bundle (span
+    ``run:frontier_goal`` with ``expand``/``merge``/``prune`` phases).
     """
     config = config or ExplorationConfig()
     _check_inputs(catalog, start_term, end_term, completed)
@@ -208,6 +238,7 @@ def frontier_count_goal_paths(
         time_pruner,
         count_dead_ends=False,
         max_frontier=max_frontier,
+        obs=obs if obs is not None else NULL_OBSERVABILITY,
     )
 
 
@@ -218,6 +249,7 @@ def frontier_count_deadline_paths(
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
     max_frontier: Optional[int] = None,
+    obs: Optional[Observability] = None,
 ) -> FrontierCount:
     """Exact deadline-driven path count with one-layer memory.
 
@@ -237,4 +269,5 @@ def frontier_count_deadline_paths(
         time_pruner=None,
         count_dead_ends=True,
         max_frontier=max_frontier,
+        obs=obs if obs is not None else NULL_OBSERVABILITY,
     )

@@ -28,6 +28,7 @@ from typing import AbstractSet, Iterator, List, Optional
 from ..catalog import Catalog
 from ..errors import BudgetExceededError, ExplorationError
 from ..graph import LearningGraph, LearningPath
+from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..requirements import Goal
 from ..semester import Term
 from .config import ExplorationConfig
@@ -92,6 +93,7 @@ def generate_goal_driven(
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
     pruners: Optional[List[Pruner]] = None,
+    obs: Optional[Observability] = None,
 ) -> GoalDrivenResult:
     """Generate every learning path that satisfies ``goal`` by ``end_term``.
 
@@ -107,6 +109,11 @@ def generate_goal_driven(
         (the Table 1 baseline).  Custom pruners must be built against a
         :class:`~repro.core.pruning.PruningContext` equivalent to this
         call's arguments.
+    obs:
+        Optional :class:`~repro.obs.runtime.Observability` bundle; when
+        enabled, the run emits a ``run:goal_driven`` span with nested
+        ``expand``/``prune``/``flow`` phases and publishes the finished
+        stats to the metrics registry.
 
     Returns
     -------
@@ -125,53 +132,61 @@ def generate_goal_driven(
     if pruners is None:
         pruners = default_pruners(context)
     time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
+    if obs is None:
+        obs = NULL_OBSERVABILITY
 
     stats = ExplorationStats()
     pruning_stats = PruningStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config)
+    expander = Expander(catalog, end_term, config, obs=obs)
     graph = LearningGraph(expander.initial_status(start_term, completed))
     stats.record_node()
 
-    stack = [graph.root_id]
-    while stack:
-        node_id = stack.pop()
-        status = graph.status(node_id)
+    with obs.run("goal_driven", start=str(start_term), end=str(end_term)):
+        stack = [graph.root_id]
+        while stack:
+            node_id = stack.pop()
+            status = graph.status(node_id)
 
-        if goal.is_satisfied(status.completed):
-            graph.mark_terminal(node_id, "goal")
-            stats.record_terminal("goal")
-            continue
-        if status.term >= end_term:
-            graph.mark_terminal(node_id, "deadline")
-            stats.record_terminal("deadline")
-            continue
-        firing = first_firing_pruner(pruners, status)
-        if firing is not None:
-            graph.mark_terminal(node_id, "pruned")
-            stats.record_terminal("pruned")
-            stats.record_prune(firing.name)
-            pruning_stats.record(firing.name)
-            continue
+            if goal.is_satisfied(status.completed):
+                graph.mark_terminal(node_id, "goal")
+                stats.record_terminal("goal")
+                continue
+            if status.term >= end_term:
+                graph.mark_terminal(node_id, "deadline")
+                stats.record_terminal("deadline")
+                continue
+            with obs.phase("prune"):
+                firing = first_firing_pruner(pruners, status, obs)
+            if firing is not None:
+                graph.mark_terminal(node_id, "pruned")
+                stats.record_terminal("pruned")
+                stats.record_prune(firing.name)
+                pruning_stats.record(firing.name)
+                continue
 
-        floor = _selection_floor(time_pruner, config, status)
-        suppressed = suppressed_selection_count(len(status.options), floor)
-        if suppressed:
-            stats.record_prune("time", suppressed)
-            pruning_stats.record("time", suppressed)
-        expanded = False
-        for selection, child_status in expander.successors(status, required_minimum=floor):
-            if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
-                stats.stop_timer()
-                raise BudgetExceededError("nodes", config.max_nodes, graph.num_nodes)
-            child_id = graph.add_child(node_id, selection, child_status)
-            stats.record_node()
-            stats.record_edge()
-            stack.append(child_id)
-            expanded = True
-        if not expanded:
-            graph.mark_terminal(node_id, "dead_end")
-            stats.record_terminal("dead_end")
+            floor = _selection_floor(time_pruner, config, status)
+            suppressed = suppressed_selection_count(len(status.options), floor)
+            if suppressed:
+                stats.record_prune("time", suppressed)
+                pruning_stats.record("time", suppressed)
+            expanded = False
+            with obs.phase("expand"):
+                for selection, child_status in expander.successors(
+                    status, required_minimum=floor
+                ):
+                    if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
+                        stats.stop_timer()
+                        raise BudgetExceededError("nodes", config.max_nodes, graph.num_nodes)
+                    child_id = graph.add_child(node_id, selection, child_status)
+                    stats.record_node()
+                    stats.record_edge()
+                    stack.append(child_id)
+                    expanded = True
+            if not expanded:
+                graph.mark_terminal(node_id, "dead_end")
+                stats.record_terminal("dead_end")
 
     stats.stop_timer()
+    obs.record_run_stats("goal_driven", stats)
     return GoalDrivenResult(graph=graph, stats=stats, pruning_stats=pruning_stats)

@@ -182,9 +182,23 @@ def default_pruners(context: PruningContext) -> List[Pruner]:
 
 
 def first_firing_pruner(
-    pruners: Sequence[Pruner], status: EnrollmentStatus
+    pruners: Sequence[Pruner], status: EnrollmentStatus, obs=None
 ) -> Optional[Pruner]:
-    """The first strategy (in list order) that prunes ``status``, if any."""
+    """The first strategy (in list order) that prunes ``status``, if any.
+
+    ``obs`` is an optional enabled
+    :class:`~repro.obs.runtime.Observability`; when given, each strategy's
+    check is charged to its own ``prune:<name>`` phase (the §5.2 split,
+    but for *time spent* rather than subtrees cut).  The plain loop stays
+    untouched so the uninstrumented path pays nothing.
+    """
+    if obs is not None and obs.enabled:
+        for pruner in pruners:
+            with obs.phase("prune:" + pruner.name):
+                fired = pruner.should_prune(status)
+            if fired:
+                return pruner
+        return None
     for pruner in pruners:
         if pruner.should_prune(status):
             return pruner

@@ -24,6 +24,7 @@ from ..catalog import Catalog
 from ..errors import BudgetExceededError, ExplorationError
 from ..graph.path import LearningPath
 from ..graph.status import EnrollmentStatus
+from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..requirements import Goal
 from ..semester import Term
 from .config import ExplorationConfig
@@ -105,6 +106,7 @@ def generate_ranked(
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
     pruners: Optional[List[Pruner]] = None,
+    obs: Optional[Observability] = None,
 ) -> RankedResult:
     """The top-``k`` goal paths under ``ranking``, best first.
 
@@ -119,6 +121,10 @@ def generate_ranked(
         non-negative.
     pruners:
         As in goal-driven generation; ``None`` uses the paper's stack.
+    obs:
+        Optional :class:`~repro.obs.runtime.Observability`; when enabled,
+        the run emits a ``run:ranked`` span whose ``rank`` phases cover
+        edge-cost and admissible-bound evaluation.
 
     Returns
     -------
@@ -145,85 +151,97 @@ def generate_ranked(
         pruners = default_pruners(context)
     time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
 
+    if obs is None:
+        obs = NULL_OBSERVABILITY
     stats = ExplorationStats()
     pruning_stats = PruningStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config)
+    expander = Expander(catalog, end_term, config, obs=obs)
 
     root = _SearchNode(
         expander.initial_status(start_term, completed), None, frozenset(), 0.0, 0
     )
     stats.record_node()
     tiebreak = itertools.count()
-    root_bound = ranking.remaining_cost_bound(root.status, goal, config)
-    # Heap entries are (cost + admissible completion bound, -depth, order,
-    # node): A* ordering with deeper-first tie-breaking, so with unit edge
-    # costs the search dives toward completable plans instead of sweeping
-    # every shallow node first.  Goal paths still emerge in true cost order
-    # because the bound never over-estimates (see RankingFunction docs).
-    frontier: List[Tuple[float, int, int, _SearchNode]] = []
-    if not math.isinf(root_bound):
-        frontier.append((root_bound, 0, next(tiebreak), root))
 
-    paths: List[LearningPath] = []
-    costs: List[float] = []
-    generated = 1
+    with obs.run("ranked", start=str(start_term), end=str(end_term), k=k):
+        with obs.phase("rank"):
+            root_bound = ranking.remaining_cost_bound(root.status, goal, config)
+        # Heap entries are (cost + admissible completion bound, -depth, order,
+        # node): A* ordering with deeper-first tie-breaking, so with unit edge
+        # costs the search dives toward completable plans instead of sweeping
+        # every shallow node first.  Goal paths still emerge in true cost order
+        # because the bound never over-estimates (see RankingFunction docs).
+        frontier: List[Tuple[float, int, int, _SearchNode]] = []
+        if not math.isinf(root_bound):
+            frontier.append((root_bound, 0, next(tiebreak), root))
 
-    while frontier and len(paths) < k:
-        _priority, _neg_depth, _order, node = heapq.heappop(frontier)
-        cost = node.cost
-        status = node.status
+        paths: List[LearningPath] = []
+        costs: List[float] = []
+        generated = 1
 
-        if goal.is_satisfied(status.completed):
-            paths.append(node.materialize())
-            costs.append(cost)
-            stats.record_terminal("goal")
-            continue
-        if status.term >= end_term:
-            stats.record_terminal("deadline")
-            continue
-        firing = first_firing_pruner(pruners, status)
-        if firing is not None:
-            stats.record_terminal("pruned")
-            stats.record_prune(firing.name)
-            pruning_stats.record(firing.name)
-            continue
+        while frontier and len(paths) < k:
+            _priority, _neg_depth, _order, node = heapq.heappop(frontier)
+            cost = node.cost
+            status = node.status
 
-        floor = _selection_floor(time_pruner, config, status)
-        suppressed = suppressed_selection_count(len(status.options), floor)
-        if suppressed:
-            stats.record_prune("time", suppressed)
-            pruning_stats.record("time", suppressed)
-        expanded = False
-        for selection, child_status in expander.successors(status, required_minimum=floor):
-            edge_cost = ranking.edge_cost(selection, status.term)
-            if edge_cost < 0:
-                raise ExplorationError(
-                    f"ranking {ranking.name!r} produced a negative edge cost "
-                    f"({edge_cost}) — best-first ordering would be unsound"
-                )
-            if math.isinf(edge_cost):
-                continue  # impossible edge (e.g. zero offering probability)
-            bound = ranking.remaining_cost_bound(child_status, goal, config)
-            if math.isinf(bound):
-                continue  # goal unreachable from the child
-            generated += 1
-            if config.max_nodes is not None and generated > config.max_nodes:
-                stats.stop_timer()
-                raise BudgetExceededError("nodes", config.max_nodes, generated)
-            child = _SearchNode(
-                child_status, node, selection, cost + edge_cost, node.depth + 1
-            )
-            stats.record_node()
-            stats.record_edge()
-            heapq.heappush(
-                frontier, (child.cost + bound, -child.depth, next(tiebreak), child)
-            )
-            expanded = True
-        if not expanded:
-            stats.record_terminal("dead_end")
+            if goal.is_satisfied(status.completed):
+                paths.append(node.materialize())
+                costs.append(cost)
+                stats.record_terminal("goal")
+                continue
+            if status.term >= end_term:
+                stats.record_terminal("deadline")
+                continue
+            with obs.phase("prune"):
+                firing = first_firing_pruner(pruners, status, obs)
+            if firing is not None:
+                stats.record_terminal("pruned")
+                stats.record_prune(firing.name)
+                pruning_stats.record(firing.name)
+                continue
+
+            floor = _selection_floor(time_pruner, config, status)
+            suppressed = suppressed_selection_count(len(status.options), floor)
+            if suppressed:
+                stats.record_prune("time", suppressed)
+                pruning_stats.record("time", suppressed)
+            expanded = False
+            with obs.phase("expand"):
+                for selection, child_status in expander.successors(
+                    status, required_minimum=floor
+                ):
+                    with obs.phase("rank"):
+                        edge_cost = ranking.edge_cost(selection, status.term)
+                    if edge_cost < 0:
+                        raise ExplorationError(
+                            f"ranking {ranking.name!r} produced a negative edge cost "
+                            f"({edge_cost}) — best-first ordering would be unsound"
+                        )
+                    if math.isinf(edge_cost):
+                        continue  # impossible edge (e.g. zero offering probability)
+                    with obs.phase("rank"):
+                        bound = ranking.remaining_cost_bound(child_status, goal, config)
+                    if math.isinf(bound):
+                        continue  # goal unreachable from the child
+                    generated += 1
+                    if config.max_nodes is not None and generated > config.max_nodes:
+                        stats.stop_timer()
+                        raise BudgetExceededError("nodes", config.max_nodes, generated)
+                    child = _SearchNode(
+                        child_status, node, selection, cost + edge_cost, node.depth + 1
+                    )
+                    stats.record_node()
+                    stats.record_edge()
+                    heapq.heappush(
+                        frontier, (child.cost + bound, -child.depth, next(tiebreak), child)
+                    )
+                    expanded = True
+            if not expanded:
+                stats.record_terminal("dead_end")
 
     stats.stop_timer()
+    obs.record_run_stats("ranked", stats)
     return RankedResult(
         paths=paths,
         costs=costs,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = ["ExplorationStats"]
 
@@ -27,18 +27,30 @@ class ExplorationStats:
     prune_events: Dict[str, int] = field(default_factory=dict)
     merged_hits: int = 0
     elapsed_seconds: float = 0.0
-    _started_at: float = field(default=0.0, repr=False)
+    # None = not currently timing.  A sentinel rather than 0.0: perf_counter
+    # may legitimately return 0.0 at its epoch, which must still count as
+    # "started".
+    _started_at: Optional[float] = field(default=None, repr=False)
 
     # -- recording -----------------------------------------------------------
 
     def start_timer(self) -> None:
-        """Begin timing the run (idempotent; call once at generator entry)."""
+        """Begin (or resume) timing; pair with :meth:`stop_timer`.
+
+        Repeated start/stop pairs *accumulate* into ``elapsed_seconds``,
+        so a run that is interrupted and resumed reports its total time.
+        """
         self._started_at = time.perf_counter()
 
     def stop_timer(self) -> None:
-        """Record elapsed wall time since :meth:`start_timer`."""
-        if self._started_at:
-            self.elapsed_seconds = time.perf_counter() - self._started_at
+        """Accumulate wall time since the matching :meth:`start_timer`.
+
+        A no-op when the timer is not running, so the budget-abort paths
+        (which stop before raising) and the normal epilogue compose.
+        """
+        if self._started_at is not None:
+            self.elapsed_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
 
     def record_node(self) -> None:
         """Count one node creation."""
@@ -59,6 +71,23 @@ class ExplorationStats:
     def record_merge(self) -> None:
         """Count one status-merge hit (DAG mode only)."""
         self.merged_hits += 1
+
+    def merge(self, other: "ExplorationStats") -> "ExplorationStats":
+        """Fold another run's counters into this one; returns self.
+
+        Sums every counter, unions the terminal/prune tallies, and adds
+        elapsed time — the aggregation multi-run benchmarks need when
+        reporting totals over several horizons or repeats.
+        """
+        self.nodes_created += other.nodes_created
+        self.edges_created += other.edges_created
+        for kind, count in other.terminals.items():
+            self.terminals[kind] = self.terminals.get(kind, 0) + count
+        for name, count in other.prune_events.items():
+            self.prune_events[name] = self.prune_events.get(name, 0) + count
+        self.merged_hits += other.merged_hits
+        self.elapsed_seconds += other.elapsed_seconds
+        return self
 
     # -- reporting -------------------------------------------------------------
 

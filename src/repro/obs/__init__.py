@@ -1,0 +1,71 @@
+"""Observability for the exploration engine: tracing, metrics, profiling.
+
+Three layers, usable separately or bundled:
+
+* :mod:`repro.obs.tracing` — span-based tracing (:class:`Tracer`,
+  :class:`Span`) with pluggable sinks: :class:`InMemorySink` for tests,
+  :class:`JsonlSink` for offline analysis.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments with
+  Prometheus text exposition and a JSON snapshot.
+* :mod:`repro.obs.profiling` — the per-phase time breakdown
+  (:class:`PhaseBreakdown`) and opt-in ``tracemalloc`` peak-memory capture.
+
+:class:`Observability` ties them together for the engine; every generator
+and :class:`~repro.system.navigator.CourseNavigator` accept one.  The
+default is :data:`NULL_OBSERVABILITY` — a no-op whose hot-path cost is a
+couple of attribute reads, so uninstrumented runs stay full speed.  See
+``docs/observability.md`` for span naming conventions and usage.
+"""
+
+from .metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiling import (
+    PHASE_METRIC_NAME,
+    MemoryProfile,
+    PhaseBreakdown,
+    capture_peak_memory,
+)
+from .runtime import NULL_OBSERVABILITY, Observability, current_observability
+from .tracing import (
+    NULL_TRACER,
+    InMemorySink,
+    JsonlSink,
+    NullTracer,
+    Span,
+    SpanSink,
+    Stopwatch,
+    Tracer,
+)
+
+__all__ = [
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanSink",
+    "InMemorySink",
+    "JsonlSink",
+    "Stopwatch",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_DURATION_BUCKETS",
+    # profiling
+    "PhaseBreakdown",
+    "MemoryProfile",
+    "capture_peak_memory",
+    "PHASE_METRIC_NAME",
+    # bundle
+    "Observability",
+    "NULL_OBSERVABILITY",
+    "current_observability",
+]

@@ -1,0 +1,316 @@
+"""Metrics registry: counters, gauges, histograms, two export formats.
+
+A :class:`MetricsRegistry` is a process-local collection of named
+instruments.  ``counter``/``gauge``/``histogram`` are get-or-create — the
+same (name, labels) pair always returns the same instrument, so hot paths
+can cache the object and skip the lookup.  Instruments follow Prometheus
+conventions: snake_case names matching ``[a-zA-Z_:][a-zA-Z0-9_:]*``,
+``_total`` suffix on counters, base units (seconds, bytes).
+
+Export goes two ways: :meth:`MetricsRegistry.render_prometheus` produces
+the text exposition format (scrape-compatible), and
+:meth:`MetricsRegistry.snapshot` a JSON-serializable dict for offline
+diffing; both are pure reads and may be called at any time.
+
+Histograms use **fixed bucket boundaries** chosen at creation — a
+cumulative-bucket design identical to Prometheus, so per-phase duration
+histograms from different runs can be summed bucket-wise.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_DURATION_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram boundaries for durations in seconds: 10 µs … 10 s,
+#: roughly 1-2.5-5 per decade — wide enough for both a single flow solve
+#: and a whole exploration phase.
+DEFAULT_DURATION_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_number(value: float) -> str:
+    """Prometheus-friendly number rendering (ints without a trailing .0)."""
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"bad metric name {name!r}")
+    return name
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"bad label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    escaped = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + escaped + "}"
+
+
+class Metric:
+    """Common identity for one instrument: name, help text, fixed labels."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = _check_name(name)
+        self.help = help_text
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> Dict[str, str]:
+        """The fixed labels as a plain dict."""
+        return dict(self.labels)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of this instrument."""
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        """The sample lines (no HELP/TYPE header) in exposition format."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "", labels: Tuple[Tuple[str, str], ...] = ()):
+        super().__init__(name, help_text, labels)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind, "help": self.help,
+            "labels": self.label_dict, "value": self.value,
+        }
+
+    def render(self) -> List[str]:
+        return [f"{self.name}{_render_labels(self.labels)} {_format_number(self.value)}"]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (peak memory, frontier width)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "", labels: Tuple[Tuple[str, str], ...] = ()):
+        super().__init__(name, help_text, labels)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount``."""
+        self.value -= amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind, "help": self.help,
+            "labels": self.label_dict, "value": self.value,
+        }
+
+    def render(self) -> List[str]:
+        return [f"{self.name}{_render_labels(self.labels)} {_format_number(self.value)}"]
+
+
+class Histogram(Metric):
+    """Observation counts over fixed bucket boundaries plus sum/count.
+
+    ``buckets`` are the inclusive upper bounds of each bucket in ascending
+    order; an implicit ``+Inf`` bucket catches the rest.  Exposition is
+    cumulative, exactly like Prometheus.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Tuple[Tuple[str, str], ...] = (),
+        buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS,
+    ):
+        super().__init__(name, help_text, labels)
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if any(later <= earlier for earlier, later in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name} bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind, "help": self.help,
+            "labels": self.label_dict,
+            "buckets": [
+                ["+Inf" if bound == float("inf") else bound, count]
+                for bound, count in self.cumulative_buckets()
+            ],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def render(self) -> List[str]:
+        lines = []
+        for bound, cumulative in self.cumulative_buckets():
+            le = "+Inf" if bound == float("inf") else _format_number(bound)
+            lines.append(
+                f"{self.name}_bucket{_render_labels(self.labels, ('le', le))} {cumulative}"
+            )
+        lines.append(f"{self.name}_sum{_render_labels(self.labels)} {_format_number(self.sum)}")
+        lines.append(f"{self.name}_count{_render_labels(self.labels)} {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Metric] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get_or_create(self, cls, name, help_text, labels, **kwargs) -> Metric:
+        frozen = _freeze_labels(labels)
+        key = (name, frozen)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if existing.kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"not {cls.kind}"
+                )
+            return existing
+        registered_kind = self._kinds.get(name)
+        if registered_kind is not None and registered_kind != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {registered_kind}, not {cls.kind}"
+            )
+        metric = cls(name, help_text, frozen, **kwargs)
+        self._metrics[key] = metric
+        self._kinds[name] = cls.kind
+        return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        """Get or create the counter with this name + label set."""
+        return self._get_or_create(Counter, name, help_text, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        """Get or create the gauge with this name + label set."""
+        return self._get_or_create(Gauge, name, help_text, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_DURATION_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram with this name + label set."""
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help_text, labels, buckets=buckets
+        )
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[Metric]:
+        """The instrument registered under (name, labels), if any."""
+        return self._metrics.get((name, _freeze_labels(labels)))
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of every instrument."""
+        return {"metrics": [metric.as_dict() for metric in self._metrics.values()]}
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every instrument."""
+        by_name: Dict[str, List[Metric]] = {}
+        for metric in self._metrics.values():
+            by_name.setdefault(metric.name, []).append(metric)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            family = by_name[name]
+            help_text = next((m.help for m in family if m.help), "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {family[0].kind}")
+            for metric in sorted(family, key=lambda m: m.labels):
+                lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")

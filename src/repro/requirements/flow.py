@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Tuple
 
+from ..obs.runtime import current_observability
+
 __all__ = ["FlowNetwork", "max_flow"]
 
 Node = Hashable
@@ -109,7 +111,19 @@ class FlowNetwork:
 
         ``method`` is ``"dinic"`` (default) or ``"edmonds_karp"``.  Flows
         are reset before solving, so repeated calls are independent.
+
+        Solves run deep inside goal evaluation where no argument path
+        exists, so this is the one place the engine consults the ambient
+        :func:`~repro.obs.runtime.current_observability` — ``None`` (the
+        overwhelmingly common case) costs a single contextvar read.
         """
+        obs = current_observability()
+        if obs is None:
+            return self._solve(source, sink, method)
+        with obs.phase("flow", method=method):
+            return self._solve(source, sink, method)
+
+    def _solve(self, source: Node, sink: Node, method: str) -> int:
         if source == sink:
             raise ValueError("source and sink must differ")
         if source not in self._adjacency or sink not in self._adjacency:

@@ -34,6 +34,7 @@ from ..data import (
 )
 from ..data.brandeis import EVALUATION_END_TERM, course_rows
 from ..errors import CourseNavigatorError
+from ..obs import JsonlSink, MetricsRegistry, Tracer
 from ..parsing import load_catalog
 from ..requirements import CourseSetGoal, Goal
 from ..semester import Term
@@ -67,6 +68,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--limit", type=int, default=20, help="max paths to print (default 20)"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help="write a JSONL span trace of the exploration run to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write engine metrics to FILE (.json for a JSON snapshot, "
+        "anything else for Prometheus text exposition)",
     )
 
 
@@ -183,10 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load(args: argparse.Namespace) -> CourseNavigator:
+    tracer = getattr(args, "_tracer", None)
+    metrics = getattr(args, "_metrics", None)
     if getattr(args, "catalog", None):
         catalog = load_catalog(args.catalog)
-        return CourseNavigator(catalog)
-    return CourseNavigator(brandeis_catalog(), offering_model=brandeis_offering_model())
+        return CourseNavigator(catalog, tracer=tracer, metrics=metrics)
+    return CourseNavigator(
+        brandeis_catalog(),
+        offering_model=brandeis_offering_model(),
+        tracer=tracer,
+        metrics=metrics,
+    )
 
 
 def _config(args: argparse.Namespace) -> ExplorationConfig:
@@ -385,6 +406,17 @@ def _run_lint(args: argparse.Namespace, out) -> int:
     return 1 if errors else 0
 
 
+def _write_metrics(metrics: MetricsRegistry, path: str) -> None:
+    if path.endswith(".json"):
+        import json
+
+        content = json.dumps(metrics.snapshot(), indent=2, sort_keys=True) + "\n"
+    else:
+        content = metrics.render_prometheus()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -399,11 +431,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _run_export,
         "lint": _run_lint,
     }
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    args._tracer = Tracer(sinks=[JsonlSink(trace_path)]) if trace_path else None
+    args._metrics = MetricsRegistry() if metrics_path else None
     try:
         return handlers[args.command](args, sys.stdout)
     except CourseNavigatorError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if args._tracer is not None:
+            args._tracer.close()
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if args._metrics is not None:
+            _write_metrics(args._metrics, metrics_path)
+            print(f"metrics written to {metrics_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

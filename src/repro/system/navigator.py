@@ -43,6 +43,7 @@ from ..core.pruning import Pruner
 from ..analysis import check_containment, ContainmentReport, is_generated_goal_path
 from ..errors import ExplorationError
 from ..graph.path import LearningPath
+from ..obs import MetricsRegistry, Observability, Tracer
 from ..requirements import Goal
 from ..semester import Term
 
@@ -61,11 +62,36 @@ class CourseNavigator:
     offering_model:
         Probability model for reliability ranking; defaults to the
         catalog's own (deterministic) model.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; every exploration run this
+        navigator performs emits spans into its sinks.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; run counters and
+        per-phase duration histograms accumulate into it.
+    capture_memory:
+        When true, each run records its ``tracemalloc`` allocation peak
+        (noticeably slower; for memory studies only).
+
+    With none of the three observability arguments, runs are completely
+    uninstrumented (the engine's no-op fast path).
     """
 
-    def __init__(self, catalog: Catalog, offering_model: Optional[OfferingModel] = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        offering_model: Optional[OfferingModel] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        capture_memory: bool = False,
+    ):
         self._catalog = catalog
         self._offering_model = offering_model or catalog.offering_model
+        if tracer is None and metrics is None and not capture_memory:
+            self._obs: Optional[Observability] = None
+        else:
+            self._obs = Observability(
+                tracer=tracer, metrics=metrics, capture_memory=capture_memory
+            )
 
     @property
     def catalog(self) -> Catalog:
@@ -76,6 +102,11 @@ class CourseNavigator:
     def offering_model(self) -> OfferingModel:
         """The offering-probability model used by reliability ranking."""
         return self._offering_model
+
+    @property
+    def observability(self) -> Optional[Observability]:
+        """The observability bundle runs report into (``None`` when off)."""
+        return self._obs
 
     # -- configuration helpers ------------------------------------------------
 
@@ -132,6 +163,7 @@ class CourseNavigator:
             end_term,
             completed=completed,
             config=self._config(config, max_courses_per_term, avoid_courses, max_nodes),
+            obs=self._obs,
         )
 
     def explore_goal(
@@ -155,6 +187,7 @@ class CourseNavigator:
             completed=completed,
             config=self._config(config, max_courses_per_term, avoid_courses, max_nodes),
             pruners=pruners,
+            obs=self._obs,
         )
 
     def explore_ranked(
@@ -180,6 +213,7 @@ class CourseNavigator:
             self.resolve_ranking(ranking),
             completed=completed,
             config=self._config(config, max_courses_per_term, avoid_courses, max_nodes),
+            obs=self._obs,
         )
 
     # -- counting mode ---------------------------------------------------------------

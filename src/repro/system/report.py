@@ -16,6 +16,7 @@ from ..analysis.metrics import branching_profile
 from ..analysis.statistics import summarize_paths
 from ..catalog import Catalog
 from ..core import ExplorationConfig, GoalDrivenResult, RankedResult
+from ..obs import Observability
 from ..requirements import Goal, progress_report
 from ..semester import Term
 from .visualizer import render_path
@@ -38,6 +39,7 @@ def build_goal_report(
     ranked: Optional[RankedResult] = None,
     config: Optional[ExplorationConfig] = None,
     max_listed_plans: int = 3,
+    obs: Optional[Observability] = None,
 ) -> str:
     """Render a complete text report for one goal exploration.
 
@@ -50,6 +52,10 @@ def build_goal_report(
         it the report lists the first few generated paths instead.
     config:
         The configuration used (echoed into the report header).
+    obs:
+        The :class:`~repro.obs.Observability` bundle the runs reported
+        into, if any; adds a per-phase timing section (and the peak-memory
+        figure when it was captured).
     """
     config = config or ExplorationConfig()
     lines: List[str] = []
@@ -115,5 +121,13 @@ def build_goal_report(
     lines += _section("Engine detail (per-term branching)")
     for row in branching_profile(result.graph, config.max_courses_per_term):
         lines.append("  " + row.describe())
+
+    if obs is not None and obs.phases:
+        lines.append("")
+        lines += _section("Engine detail (phase timing, inclusive)")
+        lines.append(obs.phases.render(indent="  "))
+        if obs.last_memory is not None:
+            lines.append(f"  peak memory     {obs.last_memory.peak_kib:,.0f} KiB "
+                         f"(tracemalloc, last run)")
 
     return "\n".join(lines) + "\n"

@@ -267,6 +267,100 @@ class TestExportCommand:
         assert data["kind"] == "tree"
 
 
+class TestObservabilityFlags:
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path, fig3_catalog):
+        import json
+
+        catalog_path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, catalog_path)
+        trace_path = tmp_path / "trace.jsonl"
+        code, _out, err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(catalog_path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--trace", str(trace_path),
+        )
+        assert code == 0
+        assert f"trace written to {trace_path}" in err
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert records
+        names = {record["name"] for record in records}
+        assert "run:goal_driven" in names
+        assert "expand" in names
+        assert "prune" in names
+        # every record is a complete span
+        for record in records:
+            assert record["end"] >= record["start"]
+            assert record["duration"] >= 0.0
+
+    def test_metrics_flag_writes_prometheus_text(self, capsys, tmp_path, fig3_catalog):
+        catalog_path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, catalog_path)
+        metrics_path = tmp_path / "metrics.prom"
+        code, _out, err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(catalog_path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--metrics-out", str(metrics_path),
+        )
+        assert code == 0
+        assert f"metrics written to {metrics_path}" in err
+        text = metrics_path.read_text()
+        assert "# TYPE repro_nodes_created_total counter" in text
+        assert "repro_phase_duration_seconds_bucket" in text
+        assert 'repro_runs_total{kind="goal_driven"} 1' in text
+
+    def test_metrics_flag_json_snapshot(self, capsys, tmp_path, fig3_catalog):
+        import json
+
+        catalog_path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, catalog_path)
+        metrics_path = tmp_path / "metrics.json"
+        code, _out, _err = run_cli(
+            capsys,
+            "ranked",
+            "--catalog", str(catalog_path),
+            "--start", "Fall 2011",
+            "--end", "Spring 2013",
+            "--goal-courses", "11A", "29A", "21A",
+            "-k", "1",
+            "--metrics-out", str(metrics_path),
+        )
+        assert code == 0
+        with open(metrics_path) as handle:
+            snapshot = json.load(handle)
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        assert "repro_nodes_created_total" in names
+        assert "repro_phase_duration_seconds" in names
+
+    def test_both_flags_together(self, capsys, tmp_path, fig3_catalog):
+        catalog_path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, catalog_path)
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.prom"
+        code, out, _err = run_cli(
+            capsys,
+            "deadline",
+            "--catalog", str(catalog_path),
+            "--start", "Fall 2011",
+            "--end", "Spring 2013",
+            "--trace", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        )
+        assert code == 0
+        assert "3 paths" in out  # run output unchanged by instrumentation
+        assert trace_path.read_text().strip()
+        assert metrics_path.read_text().strip()
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

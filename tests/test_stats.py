@@ -1,5 +1,8 @@
 """Tests for run statistics containers."""
 
+import json
+from unittest import mock
+
 from repro.core import ExplorationStats
 from repro.core.pruning import PruningStats, suppressed_selection_count
 
@@ -39,6 +42,85 @@ class TestExplorationStats:
         stats = ExplorationStats()
         stats.stop_timer()
         assert stats.elapsed_seconds == 0.0
+
+    def test_timer_accumulates_across_pairs(self):
+        stats = ExplorationStats()
+        with mock.patch("repro.core.stats.time.perf_counter",
+                        side_effect=[10.0, 12.5, 100.0, 101.0]):
+            stats.start_timer()
+            stats.stop_timer()
+            stats.start_timer()
+            stats.stop_timer()
+        assert stats.elapsed_seconds == 3.5
+
+    def test_double_stop_does_not_double_count(self):
+        stats = ExplorationStats()
+        with mock.patch("repro.core.stats.time.perf_counter",
+                        side_effect=[10.0, 12.0]):
+            stats.start_timer()
+            stats.stop_timer()
+            stats.stop_timer()  # second stop: timer no longer running
+        assert stats.elapsed_seconds == 2.0
+
+    def test_timer_counts_epoch_zero_start(self):
+        # perf_counter may legitimately be 0.0; a falsy check would
+        # silently drop the interval.
+        stats = ExplorationStats()
+        with mock.patch("repro.core.stats.time.perf_counter",
+                        side_effect=[0.0, 1.25]):
+            stats.start_timer()
+            stats.stop_timer()
+        assert stats.elapsed_seconds == 1.25
+
+    def test_merge_sums_all_counters(self):
+        a = ExplorationStats()
+        a.record_node()
+        a.record_edge()
+        a.record_terminal("goal")
+        a.record_prune("time", 3)
+        a.record_merge()
+        a.elapsed_seconds = 1.5
+        b = ExplorationStats()
+        b.record_node()
+        b.record_node()
+        b.record_terminal("goal")
+        b.record_terminal("deadline")
+        b.record_prune("time")
+        b.record_prune("availability", 2)
+        b.elapsed_seconds = 0.5
+
+        returned = a.merge(b)
+        assert returned is a
+        assert a.nodes_created == 3
+        assert a.edges_created == 1
+        assert a.terminals == {"goal": 2, "deadline": 1}
+        assert a.prune_events == {"time": 4, "availability": 2}
+        assert a.merged_hits == 1
+        assert a.elapsed_seconds == 2.0
+        # b untouched
+        assert b.nodes_created == 2
+        assert b.prune_events == {"time": 1, "availability": 2}
+
+    def test_merge_with_empty_is_identity(self):
+        a = ExplorationStats()
+        a.record_node()
+        a.record_terminal("goal")
+        before = a.as_dict()
+        a.merge(ExplorationStats())
+        assert a.as_dict() == before
+
+    def test_as_dict_round_trips_through_json(self):
+        stats = ExplorationStats()
+        stats.record_node()
+        stats.record_edge()
+        stats.record_terminal("goal")
+        stats.record_prune("time", 2)
+        stats.record_merge()
+        stats.elapsed_seconds = 0.25
+        parsed = json.loads(json.dumps(stats.as_dict()))
+        assert parsed == stats.as_dict()
+        assert parsed["prune_events"] == {"time": 2}
+        assert parsed["elapsed_seconds"] == 0.25
 
     def test_as_dict_and_summary(self):
         stats = ExplorationStats()
