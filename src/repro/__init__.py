@@ -77,6 +77,9 @@ from .core import (
     generate_ranked,
 )
 from .obs import (
+    DecisionEvent,
+    DecisionRecorder,
+    ExplainReport,
     InMemorySink,
     JsonlSink,
     MetricsRegistry,
@@ -138,6 +141,9 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "Observability",
+    "DecisionEvent",
+    "DecisionRecorder",
+    "ExplainReport",
     # system
     "CourseNavigator",
     "__version__",

@@ -28,11 +28,14 @@ from .deadline import DeadlineResult, generate_deadline_driven
 from .goal_driven import GoalDrivenResult, generate_goal_driven
 from .pruning import (
     AvailabilityPruner,
+    PruneVerdict,
     Pruner,
     PruningContext,
     PruningStats,
     TimeBasedPruner,
     default_pruners,
+    examine_pruners,
+    first_firing_pruner,
 )
 from .ranking import (
     RankingFunction,
@@ -69,11 +72,14 @@ __all__ = [
     "generate_ranked",
     "RankedResult",
     "Pruner",
+    "PruneVerdict",
     "PruningContext",
     "PruningStats",
     "TimeBasedPruner",
     "AvailabilityPruner",
     "default_pruners",
+    "examine_pruners",
+    "first_firing_pruner",
     "RankingFunction",
     "TimeRanking",
     "WorkloadRanking",

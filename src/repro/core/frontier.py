@@ -23,12 +23,14 @@ produces exactly the same counts as the tree and DAG algorithms
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, FrozenSet, List, Optional
 
 from ..catalog import Catalog
 from ..errors import BudgetExceededError, ExplorationError
 from ..graph.status import EnrollmentStatus
+from ..obs.explain import DecisionEvent
 from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..obs.tracing import Stopwatch
 from ..requirements import Goal
@@ -42,6 +44,7 @@ from .pruning import (
     PruningStats,
     TimeBasedPruner,
     default_pruners,
+    examine_pruners,
     first_firing_pruner,
     suppressed_selection_count,
 )
@@ -111,9 +114,29 @@ def _run_frontier(
     widths = [1]
     terminal_counts: Dict[str, int] = {}
     instrumented = obs.enabled
+    recorder = obs.decisions
+    # Frontier states are merged, so decision events carry synthetic ids
+    # and no parent linkage; ``multiplicity`` says how many tree nodes the
+    # one recorded decision stands for.
+    next_eid = itertools.count()
 
     def _terminate(kind: str, multiplicity: int) -> None:
         terminal_counts[kind] = terminal_counts.get(kind, 0) + multiplicity
+
+    def _record(kind: str, status: EnrollmentStatus, multiplicity: int, **kwargs) -> None:
+        detail = dict(kwargs.pop("detail", {}))
+        detail["multiplicity"] = multiplicity
+        recorder.record(
+            DecisionEvent(
+                kind=kind,
+                node_id=next(next_eid),
+                parent_id=None,
+                term=str(status.term),
+                completed=tuple(sorted(status.completed)),
+                detail=detail,
+                **kwargs,
+            )
+        )
 
     with obs.run(
         "frontier_goal" if goal is not None else "frontier_deadline",
@@ -128,21 +151,49 @@ def _run_frontier(
                 )
                 if goal is not None and goal.is_satisfied(state):
                     _terminate("goal", multiplicity)
+                    if recorder is not None:
+                        _record("goal", status, multiplicity)
                     continue
                 if term >= end_term:
                     _terminate("deadline", multiplicity)
+                    if recorder is not None:
+                        _record("deadline", status, multiplicity)
                     continue
                 if goal is not None:
-                    with obs.phase("prune"):
-                        firing = first_firing_pruner(pruners, status, obs)
+                    if recorder is None:
+                        with obs.phase("prune"):
+                            firing = first_firing_pruner(pruners, status, obs)
+                    else:
+                        with obs.phase("prune"):
+                            firing, verdicts = examine_pruners(pruners, status, obs)
                     if firing is not None:
                         pruning_stats.record(firing.name)
                         _terminate("pruned", multiplicity)
+                        if recorder is not None:
+                            _record(
+                                "prune",
+                                status,
+                                multiplicity,
+                                strategy=firing.name,
+                                verdicts=tuple(v.as_dict() for v in verdicts),
+                            )
                         continue
                     floor = _selection_floor(time_pruner, config, status)
                     suppressed = suppressed_selection_count(len(status.options), floor)
                     if suppressed:
                         pruning_stats.record("time", suppressed)
+                        if recorder is not None:
+                            _record(
+                                "suppressed",
+                                status,
+                                multiplicity,
+                                strategy="time",
+                                detail={
+                                    "suppressed": suppressed,
+                                    "floor": floor,
+                                    "option_count": len(status.options),
+                                },
+                            )
                 else:
                     floor = 0
                 if instrumented:
@@ -169,6 +220,8 @@ def _run_frontier(
                         expanded = True
                 if not expanded:
                     _terminate("dead_end", multiplicity)
+                    if recorder is not None:
+                        _record("dead_end", status, multiplicity)
                 # Check the budget as the layer grows (not just once it is
                 # complete) so an exploding layer fails fast instead of
                 # exhausting memory first.

@@ -28,6 +28,7 @@ from typing import AbstractSet, Iterator, List, Optional
 from ..catalog import Catalog
 from ..errors import BudgetExceededError, ExplorationError
 from ..graph import LearningGraph, LearningPath
+from ..obs.explain import DecisionEvent
 from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..requirements import Goal
 from ..semester import Term
@@ -39,6 +40,7 @@ from .pruning import (
     PruningStats,
     TimeBasedPruner,
     default_pruners,
+    examine_pruners,
     first_firing_pruner,
     suppressed_selection_count,
 )
@@ -69,6 +71,22 @@ class GoalDrivenResult:
         """Every non-pruned leaf reached (goal + deadline + dead-end) —
         the quantity Table 1 reports to show how much pruning saves."""
         return self.graph.count_paths()
+
+
+def _graph_decision(
+    graph: LearningGraph, node_id: int, kind: str, **kwargs
+) -> DecisionEvent:
+    """A decision event for one tree node (shared by the event kinds)."""
+    status = graph.status(node_id)
+    return DecisionEvent(
+        kind=kind,
+        node_id=node_id,
+        parent_id=graph.parent(node_id),
+        term=str(status.term),
+        selection=tuple(sorted(graph.selection_into(node_id))),
+        completed=tuple(sorted(status.completed)),
+        **kwargs,
+    )
 
 
 def _selection_floor(
@@ -142,6 +160,7 @@ def generate_goal_driven(
     graph = LearningGraph(expander.initial_status(start_term, completed))
     stats.record_node()
 
+    recorder = obs.decisions
     with obs.run("goal_driven", start=str(start_term), end=str(end_term)):
         stack = [graph.root_id]
         while stack:
@@ -151,18 +170,36 @@ def generate_goal_driven(
             if goal.is_satisfied(status.completed):
                 graph.mark_terminal(node_id, "goal")
                 stats.record_terminal("goal")
+                if recorder is not None:
+                    recorder.record(_graph_decision(graph, node_id, "goal"))
                 continue
             if status.term >= end_term:
                 graph.mark_terminal(node_id, "deadline")
                 stats.record_terminal("deadline")
+                if recorder is not None:
+                    recorder.record(_graph_decision(graph, node_id, "deadline"))
                 continue
-            with obs.phase("prune"):
-                firing = first_firing_pruner(pruners, status, obs)
+            if recorder is None:
+                with obs.phase("prune"):
+                    firing = first_firing_pruner(pruners, status, obs)
+            else:
+                with obs.phase("prune"):
+                    firing, verdicts = examine_pruners(pruners, status, obs)
             if firing is not None:
                 graph.mark_terminal(node_id, "pruned")
                 stats.record_terminal("pruned")
                 stats.record_prune(firing.name)
                 pruning_stats.record(firing.name)
+                if recorder is not None:
+                    recorder.record(
+                        _graph_decision(
+                            graph,
+                            node_id,
+                            "prune",
+                            strategy=firing.name,
+                            verdicts=tuple(v.as_dict() for v in verdicts),
+                        )
+                    )
                 continue
 
             floor = _selection_floor(time_pruner, config, status)
@@ -170,7 +207,22 @@ def generate_goal_driven(
             if suppressed:
                 stats.record_prune("time", suppressed)
                 pruning_stats.record("time", suppressed)
+                if recorder is not None:
+                    recorder.record(
+                        _graph_decision(
+                            graph,
+                            node_id,
+                            "suppressed",
+                            strategy="time",
+                            detail={
+                                "suppressed": suppressed,
+                                "floor": floor,
+                                "option_count": len(status.options),
+                            },
+                        )
+                    )
             expanded = False
+            children = 0
             with obs.phase("expand"):
                 for selection, child_status in expander.successors(
                     status, required_minimum=floor
@@ -183,9 +235,18 @@ def generate_goal_driven(
                     stats.record_edge()
                     stack.append(child_id)
                     expanded = True
+                    children += 1
             if not expanded:
                 graph.mark_terminal(node_id, "dead_end")
                 stats.record_terminal("dead_end")
+                if recorder is not None:
+                    recorder.record(_graph_decision(graph, node_id, "dead_end"))
+            elif recorder is not None:
+                recorder.record(
+                    _graph_decision(
+                        graph, node_id, "expand", detail={"children": children}
+                    )
+                )
 
     stats.stop_timer()
     obs.record_run_stats("goal_driven", stats)

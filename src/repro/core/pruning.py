@@ -28,8 +28,8 @@ measured the same way (time-based is listed first).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..catalog import Catalog
 from ..catalog.schedule import Schedule
@@ -40,12 +40,23 @@ from .config import ExplorationConfig
 
 __all__ = [
     "PruningContext",
+    "PruneVerdict",
     "Pruner",
     "TimeBasedPruner",
     "AvailabilityPruner",
     "PruningStats",
     "default_pruners",
+    "first_firing_pruner",
+    "examine_pruners",
 ]
+
+
+def _jsonable(value: float) -> Any:
+    """Bound values as JSON-strict numbers (``inf`` becomes the string
+    ``"inf"`` so verdicts survive any JSON round-trip)."""
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return value
 
 
 @dataclass(frozen=True)
@@ -65,12 +76,52 @@ class PruningContext:
         return self.catalog.schedule
 
 
+@dataclass(frozen=True)
+class PruneVerdict:
+    """One strategy's structured answer for one node — the EXPLAIN record.
+
+    ``detail`` carries the concrete bound values the decision rests on
+    (``left_i``, ``min_i``, ``m``, ``semesters_after_this`` = ``d − s_i − 1``
+    for the time bound; the availability shortfall courses for the
+    availability bound) plus counterfactuals when the strategy fired: what
+    ``m`` or ``d`` would have had to be for the node to survive.  Every
+    value is JSON-serializable so verdicts flow into decision-audit files
+    unchanged.
+    """
+
+    strategy: str
+    fired: bool
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A plain JSON-serializable snapshot (strict: no ``Infinity``)."""
+        return {
+            "strategy": self.strategy,
+            "fired": self.fired,
+            "detail": {key: _jsonable(value) for key, value in self.detail.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PruneVerdict":
+        """Inverse of :meth:`as_dict` (restores ``"inf"`` bound values)."""
+        return cls(
+            strategy=data["strategy"],
+            fired=bool(data["fired"]),
+            detail={
+                key: math.inf if value == "inf" else value
+                for key, value in data.get("detail", {}).items()
+            },
+        )
+
+
 class Pruner:
     """Abstract pruning strategy.
 
     Subclasses must be *sound*: ``should_prune(status)`` may return true
     only when no expansion of ``status`` can reach a goal node by the end
-    semester.
+    semester.  ``examine`` is the structured form of the same answer; the
+    built-in strategies override it to expose the actual bound values,
+    while ``should_prune`` remains the allocation-free hot path.
     """
 
     #: Short identifier used in statistics (``"time"``, ``"availability"``).
@@ -87,6 +138,14 @@ class Pruner:
     def should_prune(self, status: EnrollmentStatus) -> bool:
         """Whether the subtree rooted at ``status`` is provably goalless."""
         raise NotImplementedError
+
+    def examine(self, status: EnrollmentStatus) -> PruneVerdict:
+        """The same decision as :meth:`should_prune`, with its evidence.
+
+        The default wraps ``should_prune`` with an empty detail dict so
+        third-party strategies keep working under explain recording.
+        """
+        return PruneVerdict(strategy=self.name, fired=self.should_prune(status))
 
 
 class TimeBasedPruner(Pruner):
@@ -109,6 +168,31 @@ class TimeBasedPruner(Pruner):
 
     def should_prune(self, status: EnrollmentStatus) -> bool:
         return self.min_required_this_term(status) > self._context.config.max_courses_per_term
+
+    def examine(self, status: EnrollmentStatus) -> PruneVerdict:
+        context = self._context
+        m = context.config.max_courses_per_term
+        left = context.goal.remaining_courses(status.completed)
+        semesters_after = context.end_term - status.term - 1
+        min_i = math.inf if math.isinf(left) else left - m * semesters_after
+        fired = min_i > m
+        detail: Dict[str, Any] = {
+            "left_i": _jsonable(left),
+            "min_i": _jsonable(min_i),
+            "m": m,
+            "semesters_after_this": semesters_after,
+            # Signed distance to the bound: > 0 means the node was cut,
+            # <= 0 is the surviving margin (0 is the nearest near-miss).
+            "slack": _jsonable(min_i - m),
+        }
+        if fired and not math.isinf(left):
+            # Counterfactuals: the smallest per-term cap, and the fewest
+            # extra semesters, under which this node would have survived.
+            semesters_remaining = semesters_after + 1  # includes this term
+            detail["required_m"] = int(math.ceil(left / semesters_remaining))
+            needed_after = int(math.ceil((left - m) / m))
+            detail["extra_semesters"] = needed_after - semesters_after
+        return PruneVerdict(strategy=self.name, fired=fired, detail=detail)
 
 
 class AvailabilityPruner(Pruner):
@@ -144,6 +228,20 @@ class AvailabilityPruner(Pruner):
         # and the per-term cap — both only shrink it, keeping this sound).
         best_case = status.completed | self._offered_from(status.term)
         return not self._context.goal.is_satisfied(best_case)
+
+    def examine(self, status: EnrollmentStatus) -> PruneVerdict:
+        goal = self._context.goal
+        offered = self._offered_from(status.term)
+        best_case = status.completed | offered
+        fired = not goal.is_satisfied(best_case)
+        detail: Dict[str, Any] = {"offered_remaining": len(offered)}
+        if fired:
+            # How many courses the goal still lacks even in the best case,
+            # and which goal courses will never be on offer again — the
+            # Fig. 3 n4 evidence ("what exactly is unavailable?").
+            detail["shortfall"] = _jsonable(goal.remaining_courses(best_case))
+            detail["unavailable_goal_courses"] = sorted(goal.courses() - best_case)
+        return PruneVerdict(strategy=self.name, fired=fired, detail=detail)
 
 
 @dataclass
@@ -203,6 +301,31 @@ def first_firing_pruner(
         if pruner.should_prune(status):
             return pruner
     return None
+
+
+def examine_pruners(
+    pruners: Sequence[Pruner], status: EnrollmentStatus, obs=None
+) -> Tuple[Optional[Pruner], List[PruneVerdict]]:
+    """Consult the stack like :func:`first_firing_pruner`, keeping evidence.
+
+    Returns the firing strategy (or ``None``) together with the structured
+    verdict of **every strategy consulted** — including the non-firing ones
+    before it, whose near-miss slack the explain report surfaces.  Same
+    first-fires-wins semantics and the same per-strategy phase charging as
+    the boolean path; used only when decision recording is on.
+    """
+    verdicts: List[PruneVerdict] = []
+    instrumented = obs is not None and obs.enabled
+    for pruner in pruners:
+        if instrumented:
+            with obs.phase("prune:" + pruner.name):
+                verdict = pruner.examine(status)
+        else:
+            verdict = pruner.examine(status)
+        verdicts.append(verdict)
+        if verdict.fired:
+            return pruner, verdicts
+    return None, verdicts
 
 
 def suppressed_selection_count(option_count: int, floor: int) -> int:

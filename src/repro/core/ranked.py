@@ -24,6 +24,7 @@ from ..catalog import Catalog
 from ..errors import BudgetExceededError, ExplorationError
 from ..graph.path import LearningPath
 from ..graph.status import EnrollmentStatus
+from ..obs.explain import DecisionEvent
 from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..requirements import Goal
 from ..semester import Term
@@ -36,6 +37,7 @@ from .pruning import (
     PruningStats,
     TimeBasedPruner,
     default_pruners,
+    examine_pruners,
     first_firing_pruner,
     suppressed_selection_count,
 )
@@ -48,7 +50,7 @@ __all__ = ["RankedResult", "generate_ranked"]
 class _SearchNode:
     """A frontier entry: a status plus the parent link that names its path."""
 
-    __slots__ = ("status", "parent", "selection", "cost", "depth")
+    __slots__ = ("status", "parent", "selection", "cost", "depth", "eid")
 
     def __init__(
         self,
@@ -57,12 +59,27 @@ class _SearchNode:
         selection: FrozenSet[str],
         cost: float,
         depth: int,
+        eid: Optional[int] = None,
     ):
         self.status = status
         self.parent = parent
         self.selection = selection
         self.cost = cost
         self.depth = depth
+        #: Explain-only node id, assigned only when decisions are recorded.
+        self.eid = eid
+
+    def decision(self, kind: str, **kwargs) -> DecisionEvent:
+        """The decision event closing this node (explain recording only)."""
+        return DecisionEvent(
+            kind=kind,
+            node_id=self.eid if self.eid is not None else -1,
+            parent_id=self.parent.eid if self.parent is not None else None,
+            term=str(self.status.term),
+            selection=tuple(sorted(self.selection)),
+            completed=tuple(sorted(self.status.completed)),
+            **kwargs,
+        )
 
     def materialize(self) -> LearningPath:
         statuses = [self.status]
@@ -158,11 +175,18 @@ def generate_ranked(
     stats.start_timer()
     expander = Expander(catalog, end_term, config, obs=obs)
 
+    recorder = obs.decisions
     root = _SearchNode(
-        expander.initial_status(start_term, completed), None, frozenset(), 0.0, 0
+        expander.initial_status(start_term, completed),
+        None,
+        frozenset(),
+        0.0,
+        0,
+        eid=0 if recorder is not None else None,
     )
     stats.record_node()
     tiebreak = itertools.count()
+    next_eid = itertools.count(1)
 
     with obs.run("ranked", start=str(start_term), end=str(end_term), k=k):
         with obs.phase("rank"):
@@ -189,16 +213,32 @@ def generate_ranked(
                 paths.append(node.materialize())
                 costs.append(cost)
                 stats.record_terminal("goal")
+                if recorder is not None:
+                    recorder.record(node.decision("goal", detail={"cost": cost}))
                 continue
             if status.term >= end_term:
                 stats.record_terminal("deadline")
+                if recorder is not None:
+                    recorder.record(node.decision("deadline"))
                 continue
-            with obs.phase("prune"):
-                firing = first_firing_pruner(pruners, status, obs)
+            if recorder is None:
+                with obs.phase("prune"):
+                    firing = first_firing_pruner(pruners, status, obs)
+            else:
+                with obs.phase("prune"):
+                    firing, verdicts = examine_pruners(pruners, status, obs)
             if firing is not None:
                 stats.record_terminal("pruned")
                 stats.record_prune(firing.name)
                 pruning_stats.record(firing.name)
+                if recorder is not None:
+                    recorder.record(
+                        node.decision(
+                            "prune",
+                            strategy=firing.name,
+                            verdicts=tuple(v.as_dict() for v in verdicts),
+                        )
+                    )
                 continue
 
             floor = _selection_floor(time_pruner, config, status)
@@ -206,7 +246,20 @@ def generate_ranked(
             if suppressed:
                 stats.record_prune("time", suppressed)
                 pruning_stats.record("time", suppressed)
+                if recorder is not None:
+                    recorder.record(
+                        node.decision(
+                            "suppressed",
+                            strategy="time",
+                            detail={
+                                "suppressed": suppressed,
+                                "floor": floor,
+                                "option_count": len(status.options),
+                            },
+                        )
+                    )
             expanded = False
+            children = 0
             with obs.phase("expand"):
                 for selection, child_status in expander.successors(
                     status, required_minimum=floor
@@ -229,7 +282,12 @@ def generate_ranked(
                         stats.stop_timer()
                         raise BudgetExceededError("nodes", config.max_nodes, generated)
                     child = _SearchNode(
-                        child_status, node, selection, cost + edge_cost, node.depth + 1
+                        child_status,
+                        node,
+                        selection,
+                        cost + edge_cost,
+                        node.depth + 1,
+                        eid=next(next_eid) if recorder is not None else None,
                     )
                     stats.record_node()
                     stats.record_edge()
@@ -237,8 +295,13 @@ def generate_ranked(
                         frontier, (child.cost + bound, -child.depth, next(tiebreak), child)
                     )
                     expanded = True
+                    children += 1
             if not expanded:
                 stats.record_terminal("dead_end")
+                if recorder is not None:
+                    recorder.record(node.decision("dead_end"))
+            elif recorder is not None:
+                recorder.record(node.decision("expand", detail={"children": children}))
 
     stats.stop_timer()
     obs.record_run_stats("ranked", stats)

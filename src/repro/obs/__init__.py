@@ -10,6 +10,10 @@ Three layers, usable separately or bundled:
   Prometheus text exposition and a JSON snapshot.
 * :mod:`repro.obs.profiling` — the per-phase time breakdown
   (:class:`PhaseBreakdown`) and opt-in ``tracemalloc`` peak-memory capture.
+* :mod:`repro.obs.explain` — the decision-level EXPLAIN layer: typed
+  :class:`DecisionEvent` records for every expansion/prune/terminal
+  decision, collected by a :class:`DecisionRecorder` and analysed by
+  :class:`ExplainReport` ("why was this subtree cut?").
 
 :class:`Observability` ties them together for the engine; every generator
 and :class:`~repro.system.navigator.CourseNavigator` accept one.  The
@@ -18,6 +22,15 @@ couple of attribute reads, so uninstrumented runs stay full speed.  See
 ``docs/observability.md`` for span naming conventions and usage.
 """
 
+from .explain import (
+    DECISION_KINDS,
+    DecisionEvent,
+    DecisionRecorder,
+    ExplainReport,
+    WhyNotAnswer,
+    describe_verdict,
+    load_decision_events,
+)
 from .metrics import (
     DEFAULT_DURATION_BUCKETS,
     Counter,
@@ -31,7 +44,13 @@ from .profiling import (
     PhaseBreakdown,
     capture_peak_memory,
 )
-from .runtime import NULL_OBSERVABILITY, Observability, current_observability
+from .runtime import (
+    NULL_OBSERVABILITY,
+    SPAN_METRIC_NAME,
+    Observability,
+    SpanMetricsSink,
+    current_observability,
+)
 from .tracing import (
     NULL_TRACER,
     InMemorySink,
@@ -64,8 +83,18 @@ __all__ = [
     "MemoryProfile",
     "capture_peak_memory",
     "PHASE_METRIC_NAME",
+    # explain
+    "DECISION_KINDS",
+    "DecisionEvent",
+    "DecisionRecorder",
+    "ExplainReport",
+    "WhyNotAnswer",
+    "describe_verdict",
+    "load_decision_events",
     # bundle
     "Observability",
     "NULL_OBSERVABILITY",
+    "SpanMetricsSink",
+    "SPAN_METRIC_NAME",
     "current_observability",
 ]

@@ -1,0 +1,424 @@
+"""Decision-level EXPLAIN for the exploration engine.
+
+Aggregate counters (:class:`~repro.core.pruning.PruningStats`) say *how
+much* each pruning strategy cut; they cannot say *why a specific subtree*
+was cut, which bound fired, or how close a near-miss came to surviving.
+This module records every expansion/prune/terminal decision the
+generators make as a typed :class:`DecisionEvent` and rebuilds the pruned
+decision tree from the event stream:
+
+* :class:`DecisionEvent` — one decision about one node: its id and parent
+  linkage, term, the selection on its incoming edge, the completed set,
+  and (for prunes) the firing strategy with the structured
+  :class:`~repro.core.pruning.PruneVerdict` evidence — the actual
+  ``left_i``, ``min_i``, ``m``, ``d − s_i − 1`` values and the
+  availability shortfall courses.
+* :class:`DecisionRecorder` — the engine-side collector.  Events are kept
+  in memory and fanned out to any span sink (:class:`JsonlSink` gives the
+  ``--explain FILE.jsonl`` audit file).  Generators consult it through
+  ``obs.decisions`` with a single ``is not None`` check, so the disabled
+  path keeps the no-op cost budget of the rest of :mod:`repro.obs`.
+* :class:`ExplainReport` — the offline analysis: per-strategy attribution
+  tables (the Table 1 82%/18% split, reproduced from events rather than
+  counters), near-miss listings, root-to-node lineage, and
+  :meth:`ExplainReport.why_not` — "why was course X never returned?",
+  answered with the exact firing strategy and counterfactual slack.
+
+Events round-trip losslessly through JSONL
+(:func:`load_decision_events` / :meth:`ExplainReport.from_jsonl`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .tracing import SpanSink
+
+__all__ = [
+    "DECISION_KINDS",
+    "DecisionEvent",
+    "DecisionRecorder",
+    "ExplainReport",
+    "WhyNotAnswer",
+    "describe_verdict",
+    "load_decision_events",
+]
+
+#: Every decision kind a generator may record.  ``expand`` is an interior
+#: node that produced children; ``goal``/``deadline``/``dead_end`` are the
+#: terminal kinds of :mod:`repro.graph.learning_graph`; ``prune`` is a cut
+#: subtree; ``suppressed`` charges the strategic-selection floor (children
+#: skipped below ``min_i``, credited to the time strategy like
+#: :class:`~repro.core.pruning.PruningStats` does).
+DECISION_KINDS = ("expand", "goal", "deadline", "dead_end", "prune", "suppressed")
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One generator decision about one node, JSONL-serializable.
+
+    ``verdicts`` holds the :meth:`~repro.core.pruning.PruneVerdict.as_dict`
+    of every strategy consulted at this node, in consultation order — for
+    a ``prune`` event the last one fired (its name is ``strategy``); the
+    earlier, non-firing verdicts carry the near-miss slack the report
+    surfaces.  ``detail`` is kind-specific: children count for ``expand``,
+    skipped-subtree count and floor for ``suppressed``, state multiplicity
+    for frontier-DP events.
+    """
+
+    kind: str
+    node_id: int
+    parent_id: Optional[int]
+    term: str
+    selection: Tuple[str, ...] = ()
+    completed: Tuple[str, ...] = ()
+    strategy: Optional[str] = None
+    verdicts: Tuple[Dict[str, Any], ...] = ()
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in DECISION_KINDS:
+            raise ValueError(
+                f"unknown decision kind {self.kind!r}; expected one of {DECISION_KINDS}"
+            )
+
+    @property
+    def firing_verdict(self) -> Optional[Dict[str, Any]]:
+        """The verdict of the strategy that fired (``None`` unless pruned)."""
+        for verdict in self.verdicts:
+            if verdict.get("fired"):
+                return verdict
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON-serializable record written to decision-audit files."""
+        return {
+            "kind": self.kind,
+            "node": self.node_id,
+            "parent": self.parent_id,
+            "term": self.term,
+            "selection": list(self.selection),
+            "completed": list(self.completed),
+            "strategy": self.strategy,
+            "verdicts": [dict(v) for v in self.verdicts],
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DecisionEvent":
+        """Inverse of :meth:`as_dict` (the JSONL round-trip)."""
+        return cls(
+            kind=data["kind"],
+            node_id=data["node"],
+            parent_id=data.get("parent"),
+            term=data["term"],
+            selection=tuple(data.get("selection", ())),
+            completed=tuple(data.get("completed", ())),
+            strategy=data.get("strategy"),
+            verdicts=tuple(dict(v) for v in data.get("verdicts", ())),
+            detail=dict(data.get("detail", {})),
+        )
+
+
+class DecisionRecorder:
+    """Collects decision events and fans them out to sinks.
+
+    Accepts the same sink protocol as the tracer
+    (:class:`~repro.obs.tracing.SpanSink`), so :class:`JsonlSink` writes
+    the ``--explain`` audit file and :class:`InMemorySink` serves tests.
+    ``keep_events=False`` drops the in-memory list for unbounded streaming
+    runs where only the file matters.
+    """
+
+    def __init__(self, sinks: Iterable[SpanSink] = (), keep_events: bool = True):
+        self._sinks: List[SpanSink] = list(sinks)
+        self._keep = keep_events
+        self.events: List[DecisionEvent] = []
+
+    def add_sink(self, sink: SpanSink) -> None:
+        """Attach another sink; it sees every event recorded afterwards."""
+        self._sinks.append(sink)
+
+    def record(self, event: DecisionEvent) -> None:
+        """Accept one decision event."""
+        if self._keep:
+            self.events.append(event)
+        if self._sinks:
+            record = event.as_dict()
+            for sink in self._sinks:
+                sink.emit(record)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def report(self) -> "ExplainReport":
+        """An :class:`ExplainReport` over everything recorded so far."""
+        return ExplainReport(self.events)
+
+    def close(self) -> None:
+        """Flush and close every sink (call once, after the last run)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "DecisionRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> bool:
+        self.close()
+        return False
+
+
+def load_decision_events(path: str) -> List[DecisionEvent]:
+    """Read a decision-audit JSONL file back into events.
+
+    Lines that are not decision events (e.g. span records, when one file
+    received both) are skipped by their missing ``kind`` field.
+    """
+    events: List[DecisionEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("kind") in DECISION_KINDS:
+                events.append(DecisionEvent.from_dict(data))
+    return events
+
+
+def describe_verdict(verdict: Dict[str, Any]) -> str:
+    """One line of human-readable evidence for one strategy's verdict.
+
+    For a fired time verdict this names the actual bound values and the
+    counterfactual ("survives with m >= 4 or 2 more semesters"); for a
+    fired availability verdict, the shortfall and the unavailable goal
+    courses.  Non-firing verdicts render their margin.
+    """
+    strategy = verdict.get("strategy", "?")
+    detail = verdict.get("detail", {})
+    if strategy == "time":
+        base = (
+            f"time: left_i={detail.get('left_i')}, min_i={detail.get('min_i')}, "
+            f"m={detail.get('m')}, d-s_i-1={detail.get('semesters_after_this')}"
+        )
+        if not verdict.get("fired"):
+            return base + f" (margin {detail.get('slack')})"
+        parts = []
+        if "required_m" in detail:
+            parts.append(f"m >= {detail['required_m']}")
+        if "extra_semesters" in detail:
+            parts.append(f"{detail['extra_semesters']} more semester(s)")
+        counterfactual = f"; survives with {' or '.join(parts)}" if parts else ""
+        return base + f" -> min_i > m{counterfactual}"
+    if strategy == "availability":
+        offered = detail.get("offered_remaining")
+        if not verdict.get("fired"):
+            return f"availability: satisfiable ({offered} courses still offered)"
+        missing = detail.get("unavailable_goal_courses", [])
+        shown = ", ".join(missing[:6]) + (" ..." if len(missing) > 6 else "")
+        return (
+            f"availability: {detail.get('shortfall')} course(s) short even taking "
+            f"all {offered} still offered; never offered again: {shown or '(none)'}"
+        )
+    state = "fired" if verdict.get("fired") else "passed"
+    extras = ", ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+    return f"{strategy}: {state}" + (f" ({extras})" if extras else "")
+
+
+@dataclass
+class WhyNotAnswer:
+    """The answer to "why was course X never returned?".
+
+    Either the course *was* returned (``returned_in`` > 0), or the prune
+    events listed in ``blockers`` cut every subtree that could still have
+    elected it — each with the strategy and evidence that justified the
+    cut.
+    """
+
+    course: str
+    returned_in: int
+    blockers: List[DecisionEvent]
+
+    @property
+    def was_returned(self) -> bool:
+        """Whether any goal path contained the course after all."""
+        return self.returned_in > 0
+
+    def render(self, limit: int = 5) -> str:
+        """A small text answer, nearest-miss blockers first."""
+        if self.was_returned:
+            return f"{self.course}: returned in {self.returned_in} goal path(s)."
+        if not self.blockers:
+            return (
+                f"{self.course}: in no goal path, and no pruned subtree could "
+                f"have elected it (it is simply not on any satisfying path)."
+            )
+        lines = [
+            f"{self.course}: never returned; {len(self.blockers)} pruned "
+            f"subtree(s) could still have elected it:"
+        ]
+        for event in self.blockers[:limit]:
+            verdict = event.firing_verdict or {}
+            lines.append(
+                f"  node {event.node_id} [{event.term}] pruned by "
+                f"{event.strategy}: {describe_verdict(verdict)}"
+            )
+        if len(self.blockers) > limit:
+            lines.append(f"  ... and {len(self.blockers) - limit} more")
+        return "\n".join(lines)
+
+
+def _verdict_slack(event: DecisionEvent) -> float:
+    """How close a pruned node came to surviving (smaller = nearer miss).
+
+    Time verdicts expose the signed ``slack`` (``min_i − m``); availability
+    verdicts the best-case ``shortfall``.  Events without either sort last.
+    """
+    verdict = event.firing_verdict
+    if verdict is None:
+        return float("inf")
+    detail = verdict.get("detail", {})
+    value = detail.get("slack", detail.get("shortfall"))
+    if isinstance(value, (int, float)):
+        return float(value)
+    return float("inf")
+
+
+class ExplainReport:
+    """The pruned decision tree, reconstructed from recorded events.
+
+    Indexes the event stream by node id and parent linkage, and answers
+    the audit questions: which strategies cut what (and whether the
+    recorded split matches the aggregate counters), which cuts were
+    near-misses, and why a given course never appeared in the output.
+    """
+
+    def __init__(self, events: Sequence[DecisionEvent]):
+        self.events: List[DecisionEvent] = list(events)
+        #: The one decision that closed each node (suppressed events ride
+        #: alongside their node's expand decision, so they index separately).
+        self.by_node: Dict[int, DecisionEvent] = {}
+        self.suppressed: List[DecisionEvent] = []
+        self.children: Dict[int, List[int]] = {}
+        for event in self.events:
+            if event.kind == "suppressed":
+                self.suppressed.append(event)
+                continue
+            self.by_node[event.node_id] = event
+            if event.parent_id is not None:
+                self.children.setdefault(event.parent_id, []).append(event.node_id)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "ExplainReport":
+        """Build a report straight from a decision-audit JSONL file."""
+        return cls(load_decision_events(path))
+
+    # -- aggregate views -----------------------------------------------------
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """How many decisions of each kind were recorded."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def pruned(self) -> List[DecisionEvent]:
+        """Every prune decision, in recording order."""
+        return [e for e in self.events if e.kind == "prune"]
+
+    def attribution(self, include_selection_floor: bool = True) -> Dict[str, int]:
+        """Subtrees cut per strategy, recomputed from events.
+
+        With ``include_selection_floor`` (default), selections skipped by
+        the strategic floor are credited to the time strategy — the same
+        accounting :class:`~repro.core.pruning.PruningStats` uses, so this
+        table must reproduce the run's counters exactly (and the paper's
+        82%/18% split when run over the evaluation workload).
+        """
+        table: Dict[str, int] = {}
+        for event in self.pruned():
+            name = event.strategy or "?"
+            table[name] = table.get(name, 0) + 1
+        if include_selection_floor:
+            for event in self.suppressed:
+                count = int(event.detail.get("suppressed", 0))
+                table["time"] = table.get("time", 0) + count
+        return table
+
+    def share(self, strategy: str, include_selection_floor: bool = True) -> float:
+        """One strategy's fraction of all recorded prune credit."""
+        table = self.attribution(include_selection_floor)
+        total = sum(table.values())
+        if total == 0:
+            return 0.0
+        return table.get(strategy, 0) / total
+
+    def near_misses(self, max_slack: float = 1.0, limit: int = 10) -> List[DecisionEvent]:
+        """Pruned nodes that came within ``max_slack`` of surviving,
+        nearest first — the tuning view ("one semester away")."""
+        candidates = [e for e in self.pruned() if _verdict_slack(e) <= max_slack]
+        candidates.sort(key=_verdict_slack)
+        return candidates[:limit]
+
+    # -- per-node views ------------------------------------------------------
+
+    def event(self, node_id: int) -> Optional[DecisionEvent]:
+        """The decision recorded for one node, if any."""
+        return self.by_node.get(node_id)
+
+    def lineage(self, node_id: int) -> List[DecisionEvent]:
+        """Root-to-node chain of decisions (parent linkage walk)."""
+        chain: List[DecisionEvent] = []
+        current: Optional[int] = node_id
+        seen = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            event = self.by_node.get(current)
+            if event is None:
+                break
+            chain.append(event)
+            current = event.parent_id
+        chain.reverse()
+        return chain
+
+    def why_not(self, course_id: str) -> WhyNotAnswer:
+        """Why ``course_id`` never appeared in a returned goal path.
+
+        A pruned subtree can only have elected the course if the course was
+        not already completed at the cut — those prune events, ordered
+        nearest-miss first, are the blockers; each names the strategy and
+        the exact bound values that justified the cut.
+        """
+        returned_in = sum(
+            1
+            for event in self.events
+            if event.kind == "goal" and course_id in event.completed
+        )
+        if returned_in:
+            return WhyNotAnswer(course=course_id, returned_in=returned_in, blockers=[])
+        blockers = [e for e in self.pruned() if course_id not in e.completed]
+        blockers.sort(key=_verdict_slack)
+        return WhyNotAnswer(course=course_id, returned_in=0, blockers=blockers)
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self, max_pruned: int = 25) -> Dict[str, Any]:
+        """A JSON-serializable summary (the CLI's ``--json`` rendering)."""
+        return {
+            "decisions": counts_with_total(self.counts_by_kind()),
+            "attribution": {
+                "subtrees": self.attribution(include_selection_floor=False),
+                "with_selection_floor": self.attribution(include_selection_floor=True),
+            },
+            "pruned": [e.as_dict() for e in self.pruned()[:max_pruned]],
+            "near_misses": [e.as_dict() for e in self.near_misses()],
+        }
+
+
+def counts_with_total(counts: Dict[str, int]) -> Dict[str, int]:
+    """A counts dict plus its ``total`` (helper for JSON summaries)."""
+    merged = dict(counts)
+    merged["total"] = sum(counts.values())
+    return merged

@@ -28,15 +28,48 @@ import time
 from contextvars import ContextVar
 from typing import Any, Dict, Optional
 
+from .explain import DecisionRecorder
 from .metrics import Histogram, MetricsRegistry
 from .profiling import PHASE_METRIC_NAME, PhaseBreakdown, capture_peak_memory
-from .tracing import NULL_SPAN, NULL_TRACER, Tracer
+from .tracing import NULL_SPAN, NULL_TRACER, SpanSink, Tracer
 
 __all__ = [
     "Observability",
     "NULL_OBSERVABILITY",
+    "SpanMetricsSink",
+    "SPAN_METRIC_NAME",
     "current_observability",
 ]
+
+#: Histogram family the tracer→metrics bridge observes into (label ``name``).
+SPAN_METRIC_NAME = "repro_span_duration_seconds"
+
+
+class SpanMetricsSink(SpanSink):
+    """Bridges the tracer into a metrics registry.
+
+    Every finished span's duration lands in the
+    ``repro_span_duration_seconds{name=...}`` histogram, so Prometheus
+    exposition covers exactly what a JSONL trace covers — per-span-name
+    duration distributions — without parsing the trace offline.  One
+    histogram series per span name, resolved once and cached.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._histograms: Dict[str, Histogram] = {}
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        name = record["name"]
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                SPAN_METRIC_NAME,
+                "wall seconds per finished span, by span name",
+                labels={"name": name},
+            )
+            self._histograms[name] = histogram
+        histogram.observe(record["duration"])
 
 _ACTIVE: "ContextVar[Optional[Observability]]" = ContextVar(
     "repro_active_observability", default=None
@@ -134,15 +167,23 @@ class Observability:
     capture_memory:
         When true, every ``run()`` scope measures its ``tracemalloc``
         allocation peak (slows runs measurably; off by default).
+    decisions:
+        A :class:`~repro.obs.explain.DecisionRecorder`, or ``None``.  When
+        attached, the generators record every expansion/prune/terminal
+        decision as a typed event (the EXPLAIN layer); the hot loops pay a
+        single ``is not None`` check when it is absent.
 
-    With neither backend the bundle is ``enabled == False`` and every hook
-    degrades to a shared no-op.
+    With no backend at all the bundle is ``enabled == False`` and every
+    hook degrades to a shared no-op.  When both a real tracer and a
+    metrics registry are attached, a :class:`SpanMetricsSink` bridge is
+    added automatically so span durations appear in the registry too.
     """
 
     __slots__ = (
         "tracer",
         "metrics",
         "capture_memory",
+        "decisions",
         "phases",
         "enabled",
         "last_memory",
@@ -154,14 +195,26 @@ class Observability:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         capture_memory: bool = False,
+        decisions: Optional[DecisionRecorder] = None,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.capture_memory = capture_memory
+        self.decisions = decisions
         self.phases = PhaseBreakdown()
-        self.enabled = bool(self.tracer.enabled or metrics is not None or capture_memory)
+        self.enabled = bool(
+            self.tracer.enabled
+            or metrics is not None
+            or capture_memory
+            or decisions is not None
+        )
         self.last_memory = None
         self._histograms: Dict[str, Optional[Histogram]] = {}
+        if self.tracer.enabled and metrics is not None and not any(
+            isinstance(sink, SpanMetricsSink) and sink.registry is metrics
+            for sink in self.tracer._sinks
+        ):
+            self.tracer.add_sink(SpanMetricsSink(metrics))
 
     # -- scopes --------------------------------------------------------------
 

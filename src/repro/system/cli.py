@@ -10,6 +10,8 @@ the exploration tasks:
     coursenavigator goal --start "Fall 2012" --end "Fall 2015" --count-only
     coursenavigator ranked --start "Fall 2013" --end "Fall 2015" -k 5 \\
         --ranking workload
+    coursenavigator explain --start "Fall 2013" --end "Fall 2015" \\
+        --why "COSI 118a" --out audit.jsonl
     coursenavigator transcripts --semesters 6 --students 20
 
 By default commands run against the built-in Brandeis-style evaluation
@@ -34,7 +36,7 @@ from ..data import (
 )
 from ..data.brandeis import EVALUATION_END_TERM, course_rows
 from ..errors import CourseNavigatorError
-from ..obs import JsonlSink, MetricsRegistry, Tracer
+from ..obs import DecisionRecorder, JsonlSink, MetricsRegistry, Tracer
 from ..parsing import load_catalog
 from ..requirements import CourseSetGoal, Goal
 from ..semester import Term
@@ -81,6 +83,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write engine metrics to FILE (.json for a JSON snapshot, "
         "anything else for Prometheus text exposition)",
+    )
+
+
+def _add_explain_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--explain",
+        metavar="FILE.jsonl",
+        default=None,
+        help="record every expansion/prune/terminal decision to FILE "
+        "(one JSON event per line; inspect with 'coursenavigator explain')",
     )
 
 
@@ -139,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report the exact goal-path count via the merged DAG",
     )
+    _add_explain_option(goal_cmd)
 
     ranked_cmd = sub.add_parser("ranked", help="top-k goal paths under a ranking")
     _add_common(ranked_cmd)
@@ -149,6 +162,39 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("time", "workload", "reliability"),
         default="time",
         help="ranking function (default time)",
+    )
+    _add_explain_option(ranked_cmd)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="run a goal exploration with decision auditing and report why "
+        "each subtree was cut (firing strategy + bound values)",
+    )
+    _add_common(explain_cmd)
+    _add_goal_options(explain_cmd)
+    explain_cmd.add_argument(
+        "--no-prune", action="store_true", help="disable pruning (baseline audit)"
+    )
+    explain_cmd.add_argument(
+        "--out",
+        metavar="FILE.jsonl",
+        default=None,
+        help="also save the decision events to FILE (one JSON event per line)",
+    )
+    explain_cmd.add_argument(
+        "--json", action="store_true", help="print the report as JSON instead of text"
+    )
+    explain_cmd.add_argument(
+        "--why",
+        metavar="COURSE",
+        default=None,
+        help="answer 'why was COURSE never part of a returned path?'",
+    )
+    explain_cmd.add_argument(
+        "--max-pruned",
+        type=int,
+        default=8,
+        help="pruned decisions to detail in the report (default 8)",
     )
 
     transcripts_cmd = sub.add_parser(
@@ -199,14 +245,18 @@ def build_parser() -> argparse.ArgumentParser:
 def _load(args: argparse.Namespace) -> CourseNavigator:
     tracer = getattr(args, "_tracer", None)
     metrics = getattr(args, "_metrics", None)
+    decisions = getattr(args, "_decisions", None)
     if getattr(args, "catalog", None):
         catalog = load_catalog(args.catalog)
-        return CourseNavigator(catalog, tracer=tracer, metrics=metrics)
+        return CourseNavigator(
+            catalog, tracer=tracer, metrics=metrics, decisions=decisions
+        )
     return CourseNavigator(
         brandeis_catalog(),
         offering_model=brandeis_offering_model(),
         tracer=tracer,
         metrics=metrics,
+        decisions=decisions,
     )
 
 
@@ -325,6 +375,70 @@ def _run_ranked(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_explain(args: argparse.Namespace, out) -> int:
+    from ..obs import ExplainReport
+    from .report import build_explain_report, explain_report_dict
+
+    recorder = DecisionRecorder(
+        sinks=[JsonlSink(args.out)] if args.out else [], keep_events=True
+    )
+    args._decisions = recorder
+    navigator = _load(args)
+    start, end = Term.parse(args.start), Term.parse(args.end)
+    goal = _goal(args)
+    result = navigator.explore_goal(
+        start,
+        goal,
+        end,
+        completed=frozenset(args.completed),
+        config=_config(args),
+        pruners=[] if args.no_prune else None,
+    )
+    recorder.close()
+    args._decisions = None  # already closed; keep main()'s finally from re-closing
+    report = ExplainReport(recorder.events)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                explain_report_dict(
+                    report,
+                    goal=goal,
+                    start_term=start,
+                    end_term=end,
+                    max_pruned=args.max_pruned,
+                    why=args.why,
+                ),
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+    else:
+        print(
+            build_explain_report(
+                report,
+                goal=goal,
+                start_term=start,
+                end_term=end,
+                max_pruned=args.max_pruned,
+                why=args.why,
+            ),
+            file=out,
+            end="",
+        )
+    print(
+        f"{result.path_count} goal paths, {result.graph.num_nodes} nodes, "
+        f"{result.pruning_stats.total} subtrees pruned; "
+        f"{len(recorder)} decisions audited",
+        file=sys.stderr,
+    )
+    if args.out:
+        print(f"decision audit written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _run_transcripts(args: argparse.Namespace, out) -> int:
     navigator = CourseNavigator(brandeis_catalog())
     goal = brandeis_major_goal()
@@ -426,6 +540,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "deadline": _run_deadline,
         "goal": _run_goal,
         "ranked": _run_ranked,
+        "explain": _run_explain,
         "transcripts": _run_transcripts,
         "audit": _run_audit,
         "export": _run_export,
@@ -433,8 +548,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
+    explain_path = getattr(args, "explain", None)
     args._tracer = Tracer(sinks=[JsonlSink(trace_path)]) if trace_path else None
     args._metrics = MetricsRegistry() if metrics_path else None
+    args._decisions = (
+        DecisionRecorder(sinks=[JsonlSink(explain_path)]) if explain_path else None
+    )
     try:
         return handlers[args.command](args, sys.stdout)
     except CourseNavigatorError as exc:
@@ -447,6 +566,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args._metrics is not None:
             _write_metrics(args._metrics, metrics_path)
             print(f"metrics written to {metrics_path}", file=sys.stderr)
+        if args._decisions is not None:
+            args._decisions.close()
+            if explain_path:
+                print(f"decision audit written to {explain_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

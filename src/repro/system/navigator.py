@@ -43,7 +43,7 @@ from ..core.pruning import Pruner
 from ..analysis import check_containment, ContainmentReport, is_generated_goal_path
 from ..errors import ExplorationError
 from ..graph.path import LearningPath
-from ..obs import MetricsRegistry, Observability, Tracer
+from ..obs import DecisionRecorder, MetricsRegistry, Observability, Tracer
 from ..requirements import Goal
 from ..semester import Term
 
@@ -71,8 +71,12 @@ class CourseNavigator:
     capture_memory:
         When true, each run records its ``tracemalloc`` allocation peak
         (noticeably slower; for memory studies only).
+    decisions:
+        Optional :class:`~repro.obs.DecisionRecorder`; every exploration
+        run this navigator performs records its expansion/prune/terminal
+        decisions into it (the EXPLAIN layer).
 
-    With none of the three observability arguments, runs are completely
+    With none of the observability arguments, runs are completely
     uninstrumented (the engine's no-op fast path).
     """
 
@@ -83,14 +87,23 @@ class CourseNavigator:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         capture_memory: bool = False,
+        decisions: Optional[DecisionRecorder] = None,
     ):
         self._catalog = catalog
         self._offering_model = offering_model or catalog.offering_model
-        if tracer is None and metrics is None and not capture_memory:
+        if (
+            tracer is None
+            and metrics is None
+            and not capture_memory
+            and decisions is None
+        ):
             self._obs: Optional[Observability] = None
         else:
             self._obs = Observability(
-                tracer=tracer, metrics=metrics, capture_memory=capture_memory
+                tracer=tracer,
+                metrics=metrics,
+                capture_memory=capture_memory,
+                decisions=decisions,
             )
 
     @property

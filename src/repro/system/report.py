@@ -12,16 +12,18 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from typing import Any, Dict
+
 from ..analysis.metrics import branching_profile
 from ..analysis.statistics import summarize_paths
 from ..catalog import Catalog
 from ..core import ExplorationConfig, GoalDrivenResult, RankedResult
-from ..obs import Observability
+from ..obs import ExplainReport, Observability, describe_verdict
 from ..requirements import Goal, progress_report
 from ..semester import Term
 from .visualizer import render_path
 
-__all__ = ["build_goal_report"]
+__all__ = ["build_goal_report", "build_explain_report", "explain_report_dict"]
 
 _RULE = "=" * 72
 
@@ -131,3 +133,109 @@ def build_goal_report(
                          f"(tracemalloc, last run)")
 
     return "\n".join(lines) + "\n"
+
+
+def _render_decision(report: ExplainReport, event, indent: str = "  ") -> List[str]:
+    """The per-node audit lines: where the node sits and every consulted
+    strategy's evidence (the firing one last, per first-fires-wins)."""
+    selection = ", ".join(event.selection) or "(start)"
+    lines = [
+        f"{indent}node {event.node_id} [{event.term}] after {{{selection}}} — "
+        f"pruned by {event.strategy} "
+        f"({len(event.completed)} courses completed, depth {len(report.lineage(event.node_id)) - 1})"
+    ]
+    for verdict in event.verdicts:
+        lines.append(f"{indent}    {describe_verdict(verdict)}")
+    return lines
+
+
+def build_explain_report(
+    report: ExplainReport,
+    goal: Optional[Goal] = None,
+    start_term: Optional[Term] = None,
+    end_term: Optional[Term] = None,
+    max_pruned: int = 8,
+    why: Optional[str] = None,
+) -> str:
+    """Render the decision-audit report for one explain-recorded run.
+
+    Sections: the decision census, the per-strategy attribution table
+    (the Table 1 split recomputed from events), the pruned-decision detail
+    with each cut's firing strategy and bound values, the near-misses, and
+    — when ``why`` names a course — the "why was X never returned?"
+    answer.
+    """
+    lines: List[str] = []
+    lines += _section("CourseNavigator explain report (decision audit)")
+    if goal is not None:
+        lines.append(f"goal:    {goal.describe()}")
+    if start_term is not None and end_term is not None:
+        lines.append(f"horizon: {start_term}  ->  {end_term} "
+                     f"({end_term - start_term} semesters)")
+
+    counts = report.counts_by_kind()
+    total = sum(counts.values())
+    census = ", ".join(f"{kind} {counts[kind]:,}" for kind in sorted(counts))
+    lines.append(f"decisions recorded: {total:,} ({census})")
+
+    lines.append("")
+    lines += _section("Strategy attribution (recomputed from events)")
+    attribution = report.attribution(include_selection_floor=True)
+    subtree_only = report.attribution(include_selection_floor=False)
+    grand_total = sum(attribution.values())
+    for strategy in sorted(attribution, key=attribution.get, reverse=True):
+        count = attribution[strategy]
+        share = count / grand_total if grand_total else 0.0
+        lines.append(
+            f"  {strategy:14} {count:10,}  {share:6.1%}  "
+            f"({subtree_only.get(strategy, 0):,} direct subtree cuts)"
+        )
+    lines.append("  (selections skipped by the strategic floor are credited to the")
+    lines.append("   time strategy, matching the run's PruningStats counters)")
+
+    pruned = report.pruned()
+    lines.append("")
+    lines += _section(f"Pruned decisions ({min(max_pruned, len(pruned))} of {len(pruned):,})")
+    if pruned:
+        for event in pruned[:max_pruned]:
+            lines += _render_decision(report, event)
+    else:
+        lines.append("  (nothing was pruned)")
+
+    near = report.near_misses()
+    if near:
+        lines.append("")
+        lines += _section("Near misses (within 1 of surviving the bound)")
+        for event in near:
+            lines += _render_decision(report, event)
+
+    if why is not None:
+        lines.append("")
+        lines += _section(f"Why not {why}?")
+        lines.append(report.why_not(why).render())
+
+    return "\n".join(lines) + "\n"
+
+
+def explain_report_dict(
+    report: ExplainReport,
+    goal: Optional[Goal] = None,
+    start_term: Optional[Term] = None,
+    end_term: Optional[Term] = None,
+    max_pruned: int = 25,
+    why: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The JSON rendering of :func:`build_explain_report` (CLI ``--json``)."""
+    data = report.as_dict(max_pruned=max_pruned)
+    if goal is not None:
+        data["goal"] = goal.describe()
+    if start_term is not None and end_term is not None:
+        data["horizon"] = {"start": str(start_term), "end": str(end_term)}
+    if why is not None:
+        answer = report.why_not(why)
+        data["why_not"] = {
+            "course": answer.course,
+            "returned_in": answer.returned_in,
+            "blockers": [e.as_dict() for e in answer.blockers[:max_pruned]],
+        }
+    return data

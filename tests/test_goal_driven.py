@@ -196,3 +196,87 @@ class TestAvailabilityPruner:
     def test_default_pruners_order(self, context):
         pruners = default_pruners(context)
         assert [p.name for p in pruners] == ["time", "availability"]
+
+
+class TestFirstStrategyWinsAttribution:
+    """PruningStats credits a cut to the *first* strategy that fires.
+
+    The default stack consults time before availability, which is what
+    produces the paper's 82%/18% Table 1 split; a node where both
+    strategies would fire must therefore be attributed to time.
+    """
+
+    @pytest.fixture
+    def both_fire_catalog(self):
+        """Four goal courses, all offered only in Fall '11.
+
+        From Spring '12 with nothing completed, *both* strategies fire:
+        time (left=4, min_i = 4 > m=1) and availability (no goal course
+        is ever offered again).
+        """
+        from repro.catalog import Catalog, Course, Schedule
+
+        courses = ["A1", "A2", "A3", "A4"]
+        return Catalog(
+            [Course(c) for c in courses],
+            schedule=Schedule({c: {F11} for c in courses}),
+        )
+
+    @pytest.fixture
+    def context(self, both_fire_catalog):
+        return PruningContext(
+            catalog=both_fire_catalog,
+            goal=CourseSetGoal({"A1", "A2", "A3", "A4"}),
+            end_term=F12,
+            config=ExplorationConfig(max_courses_per_term=1),
+        )
+
+    def test_both_strategies_fire_independently(self, context):
+        status = EnrollmentStatus(S12, frozenset())
+        assert TimeBasedPruner(context).should_prune(status)
+        assert AvailabilityPruner(context).should_prune(status)
+
+    def test_first_firing_pruner_picks_time(self, context):
+        from repro.core.pruning import first_firing_pruner
+
+        status = EnrollmentStatus(S12, frozenset())
+        firing = first_firing_pruner(default_pruners(context), status)
+        assert firing is not None
+        assert firing.name == "time"
+
+    def test_examine_stops_at_first_firing(self, context):
+        from repro.core.pruning import examine_pruners
+
+        status = EnrollmentStatus(S12, frozenset())
+        firing, verdicts = examine_pruners(default_pruners(context), status)
+        assert firing.name == "time"
+        # availability was never consulted: first-fires-wins
+        assert [v.strategy for v in verdicts] == ["time"]
+
+    def test_run_attributes_cut_to_time(self, both_fire_catalog, context):
+        result = generate_goal_driven(
+            both_fire_catalog,
+            S12,
+            context.goal,
+            F12,
+            config=context.config,
+        )
+        assert result.path_count == 0
+        stats = result.pruning_stats.as_dict()
+        assert stats.get("time", 0) >= 1
+        assert stats.get("availability", 0) == 0
+
+    def test_reversed_stack_attributes_to_availability(self, both_fire_catalog, context):
+        pruners = list(reversed(default_pruners(context)))
+        result = generate_goal_driven(
+            both_fire_catalog,
+            S12,
+            context.goal,
+            F12,
+            config=context.config,
+            pruners=pruners,
+        )
+        assert result.path_count == 0
+        stats = result.pruning_stats.as_dict()
+        assert stats.get("availability", 0) >= 1
+        assert stats.get("time", 0) == 0

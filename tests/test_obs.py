@@ -379,6 +379,59 @@ class TestObservability:
         assert gauge.value == obs.last_memory.peak_bytes
         assert gauge.value > 0
 
+    def test_span_metrics_bridge_observes_durations(self):
+        from repro.obs import SPAN_METRIC_NAME
+
+        registry = MetricsRegistry()
+        tracer = Tracer(sinks=[InMemorySink()])
+        Observability(tracer=tracer, metrics=registry)
+        with tracer.span("expand"):
+            pass
+        with tracer.span("expand"):
+            pass
+        with tracer.span("flow"):
+            pass
+        expand = registry.get(SPAN_METRIC_NAME, labels={"name": "expand"})
+        flow = registry.get(SPAN_METRIC_NAME, labels={"name": "flow"})
+        assert expand.count == 2
+        assert flow.count == 1
+        assert expand.sum >= 0.0
+
+    def test_span_metrics_bridge_attached_once(self):
+        from repro.obs import SpanMetricsSink
+
+        registry = MetricsRegistry()
+        tracer = Tracer(sinks=[InMemorySink()])
+        Observability(tracer=tracer, metrics=registry)
+        Observability(tracer=tracer, metrics=registry)  # same pair again
+        bridges = [
+            sink
+            for sink in tracer._sinks
+            if isinstance(sink, SpanMetricsSink) and sink.registry is registry
+        ]
+        assert len(bridges) == 1
+
+    def test_span_metrics_bridge_needs_both_backends(self):
+        from repro.obs import SpanMetricsSink
+
+        tracer = Tracer(sinks=[InMemorySink()])
+        Observability(tracer=tracer)  # no registry: nothing to bridge into
+        assert not any(isinstance(s, SpanMetricsSink) for s in tracer._sinks)
+
+    def test_engine_run_feeds_span_histogram(self):
+        from repro.obs import SPAN_METRIC_NAME
+
+        registry = MetricsRegistry()
+        obs = Observability(tracer=Tracer(sinks=[InMemorySink()]), metrics=registry)
+        generate_goal_driven(
+            brandeis_catalog(), START, brandeis_major_goal(), END, obs=obs
+        )
+        run_histogram = registry.get(
+            SPAN_METRIC_NAME, labels={"name": "run:goal_driven"}
+        )
+        assert run_histogram.count == 1
+        assert registry.get(SPAN_METRIC_NAME, labels={"name": "prune"}).count > 0
+
     def test_record_run_stats_publishes_counters(self):
         from repro.core import ExplorationStats
 
