@@ -17,8 +17,9 @@ from dataclasses import dataclass
 from typing import AbstractSet, Iterator, Optional
 
 from ..catalog import Catalog
-from ..errors import BudgetExceededError, ExplorationError
+from ..errors import ExplorationError
 from ..graph import LearningGraph, LearningPath
+from ..obs.live import budget_exceeded
 from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..semester import Term
 from .config import ExplorationConfig
@@ -103,29 +104,52 @@ def generate_deadline_driven(
     graph = LearningGraph(expander.initial_status(start_term, completed))
     stats.record_node()
 
+    progress = obs.progress
+    budget = obs.budget
+    if progress is not None:
+        progress.begin_run("deadline", horizon=int(end_term - start_term))
+    if budget is not None:
+        budget.arm()
     with obs.run("deadline", start=str(start_term), end=str(end_term)):
         stack = [graph.root_id]
         while stack:
             node_id = stack.pop()
             status = graph.status(node_id)
+            if budget is not None:
+                budget.tick(stats, progress)
+            depth = int(status.term - start_term) if progress is not None else 0
             if status.term >= end_term:
                 graph.mark_terminal(node_id, "deadline")
                 stats.record_terminal("deadline")
+                if progress is not None:
+                    progress.record_terminal("deadline", depth)
+                    progress.record_emit()
                 continue
             expanded = False
+            children = 0
             with obs.phase("expand"):
                 for selection, child_status in expander.successors(status):
                     if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
-                        stats.stop_timer()
-                        raise BudgetExceededError("nodes", config.max_nodes, graph.num_nodes)
+                        raise budget_exceeded(
+                            "nodes", config.max_nodes, graph.num_nodes,
+                            stats=stats, progress=progress, budget=budget,
+                        )
                     child_id = graph.add_child(node_id, selection, child_status)
                     stats.record_node()
                     stats.record_edge()
                     stack.append(child_id)
                     expanded = True
+                    children += 1
             if not expanded:
                 graph.mark_terminal(node_id, "dead_end")
                 stats.record_terminal("dead_end")
+                if progress is not None:
+                    # Dead ends are maximal paths too (Fig. 3's n6).
+                    progress.record_terminal("dead_end", depth)
+                    progress.record_emit()
+            elif progress is not None:
+                progress.record_expanded(depth, children)
+                progress.set_frontier(len(stack))
 
     stats.stop_timer()
     obs.record_run_stats("deadline", stats)

@@ -28,9 +28,10 @@ from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, FrozenSet, List, Optional
 
 from ..catalog import Catalog
-from ..errors import BudgetExceededError, ExplorationError
+from ..errors import ExplorationError
 from ..graph.status import EnrollmentStatus
 from ..obs.explain import DecisionEvent
+from ..obs.live import budget_exceeded
 from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..obs.tracing import Stopwatch
 from ..requirements import Goal
@@ -115,6 +116,13 @@ def _run_frontier(
     terminal_counts: Dict[str, int] = {}
     instrumented = obs.enabled
     recorder = obs.decisions
+    progress = obs.progress
+    budget = obs.budget
+    run_name = "frontier_goal" if goal is not None else "frontier_deadline"
+    if progress is not None:
+        progress.begin_run(run_name, horizon=int(end_term - start_term))
+    if budget is not None:
+        budget.arm()
     # Frontier states are merged, so decision events carry synthetic ids
     # and no parent linkage; ``multiplicity`` says how many tree nodes the
     # one recorded decision stands for.
@@ -138,24 +146,28 @@ def _run_frontier(
             )
         )
 
-    with obs.run(
-        "frontier_goal" if goal is not None else "frontier_deadline",
-        start=str(start_term),
-        end=str(end_term),
-    ):
+    with obs.run(run_name, start=str(start_term), end=str(end_term)):
         while frontier and term <= end_term:
             next_frontier: Dict[FrozenSet[str], int] = {}
+            depth = int(term - start_term) if progress is not None else 0
             for state, multiplicity in frontier.items():
+                if budget is not None:
+                    budget.tick(None, progress)
                 status = EnrollmentStatus(
                     term=term, completed=state, options=expander.options(state, term)
                 )
                 if goal is not None and goal.is_satisfied(state):
                     _terminate("goal", multiplicity)
+                    if progress is not None:
+                        progress.record_terminal("goal", depth)
+                        progress.record_emit(multiplicity)
                     if recorder is not None:
                         _record("goal", status, multiplicity)
                     continue
                 if term >= end_term:
                     _terminate("deadline", multiplicity)
+                    if progress is not None:
+                        progress.record_terminal("deadline", depth)
                     if recorder is not None:
                         _record("deadline", status, multiplicity)
                     continue
@@ -169,6 +181,8 @@ def _run_frontier(
                     if firing is not None:
                         pruning_stats.record(firing.name)
                         _terminate("pruned", multiplicity)
+                        if progress is not None:
+                            progress.record_pruned(depth)
                         if recorder is not None:
                             _record(
                                 "prune",
@@ -207,6 +221,8 @@ def _run_frontier(
                             )
                         ]
                     expanded = bool(children)
+                    if expanded and progress is not None:
+                        progress.record_expanded(depth, len(children))
                     with obs.phase("merge"):
                         for key in children:
                             next_frontier[key] = next_frontier.get(key, 0) + multiplicity
@@ -220,17 +236,22 @@ def _run_frontier(
                         expanded = True
                 if not expanded:
                     _terminate("dead_end", multiplicity)
+                    if progress is not None:
+                        progress.record_terminal("dead_end", depth)
                     if recorder is not None:
                         _record("dead_end", status, multiplicity)
                 # Check the budget as the layer grows (not just once it is
                 # complete) so an exploding layer fails fast instead of
                 # exhausting memory first.
                 if max_frontier is not None and len(next_frontier) > max_frontier:
-                    raise BudgetExceededError(
-                        "frontier states", max_frontier, len(next_frontier)
+                    raise budget_exceeded(
+                        "frontier states", max_frontier, len(next_frontier),
+                        progress=progress, budget=budget,
                     )
             frontier = next_frontier
             term = term + 1
+            if progress is not None:
+                progress.set_frontier(len(frontier))
             if frontier:
                 peak = max(peak, len(frontier))
                 total_states += len(frontier)

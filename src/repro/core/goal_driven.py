@@ -26,9 +26,10 @@ from dataclasses import dataclass
 from typing import AbstractSet, Iterator, List, Optional
 
 from ..catalog import Catalog
-from ..errors import BudgetExceededError, ExplorationError
+from ..errors import ExplorationError
 from ..graph import LearningGraph, LearningPath
 from ..obs.explain import DecisionEvent
+from ..obs.live import budget_exceeded
 from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..requirements import Goal
 from ..semester import Term
@@ -161,21 +162,35 @@ def generate_goal_driven(
     stats.record_node()
 
     recorder = obs.decisions
+    progress = obs.progress
+    budget = obs.budget
+    if progress is not None:
+        progress.begin_run("goal_driven", horizon=int(end_term - start_term))
+    if budget is not None:
+        budget.arm()
     with obs.run("goal_driven", start=str(start_term), end=str(end_term)):
         stack = [graph.root_id]
         while stack:
             node_id = stack.pop()
             status = graph.status(node_id)
+            if budget is not None:
+                budget.tick(stats, progress)
+            depth = int(status.term - start_term) if progress is not None else 0
 
             if goal.is_satisfied(status.completed):
                 graph.mark_terminal(node_id, "goal")
                 stats.record_terminal("goal")
+                if progress is not None:
+                    progress.record_terminal("goal", depth)
+                    progress.record_emit()
                 if recorder is not None:
                     recorder.record(_graph_decision(graph, node_id, "goal"))
                 continue
             if status.term >= end_term:
                 graph.mark_terminal(node_id, "deadline")
                 stats.record_terminal("deadline")
+                if progress is not None:
+                    progress.record_terminal("deadline", depth)
                 if recorder is not None:
                     recorder.record(_graph_decision(graph, node_id, "deadline"))
                 continue
@@ -190,6 +205,8 @@ def generate_goal_driven(
                 stats.record_terminal("pruned")
                 stats.record_prune(firing.name)
                 pruning_stats.record(firing.name)
+                if progress is not None:
+                    progress.record_pruned(depth)
                 if recorder is not None:
                     recorder.record(
                         _graph_decision(
@@ -228,8 +245,10 @@ def generate_goal_driven(
                     status, required_minimum=floor
                 ):
                     if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
-                        stats.stop_timer()
-                        raise BudgetExceededError("nodes", config.max_nodes, graph.num_nodes)
+                        raise budget_exceeded(
+                            "nodes", config.max_nodes, graph.num_nodes,
+                            stats=stats, progress=progress, budget=budget,
+                        )
                     child_id = graph.add_child(node_id, selection, child_status)
                     stats.record_node()
                     stats.record_edge()
@@ -239,14 +258,20 @@ def generate_goal_driven(
             if not expanded:
                 graph.mark_terminal(node_id, "dead_end")
                 stats.record_terminal("dead_end")
+                if progress is not None:
+                    progress.record_terminal("dead_end", depth)
                 if recorder is not None:
                     recorder.record(_graph_decision(graph, node_id, "dead_end"))
-            elif recorder is not None:
-                recorder.record(
-                    _graph_decision(
-                        graph, node_id, "expand", detail={"children": children}
+            else:
+                if progress is not None:
+                    progress.record_expanded(depth, children)
+                    progress.set_frontier(len(stack))
+                if recorder is not None:
+                    recorder.record(
+                        _graph_decision(
+                            graph, node_id, "expand", detail={"children": children}
+                        )
                     )
-                )
 
     stats.stop_timer()
     obs.record_run_stats("goal_driven", stats)

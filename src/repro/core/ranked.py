@@ -21,10 +21,11 @@ from dataclasses import dataclass, field
 from typing import AbstractSet, FrozenSet, List, Optional, Tuple
 
 from ..catalog import Catalog
-from ..errors import BudgetExceededError, ExplorationError
+from ..errors import ExplorationError
 from ..graph.path import LearningPath
 from ..graph.status import EnrollmentStatus
 from ..obs.explain import DecisionEvent
+from ..obs.live import budget_exceeded
 from ..obs.runtime import NULL_OBSERVABILITY, Observability
 from ..requirements import Goal
 from ..semester import Term
@@ -176,6 +177,12 @@ def generate_ranked(
     expander = Expander(catalog, end_term, config, obs=obs)
 
     recorder = obs.decisions
+    progress = obs.progress
+    budget = obs.budget
+    if progress is not None:
+        progress.begin_run("ranked", horizon=int(end_term - start_term))
+    if budget is not None:
+        budget.arm()
     root = _SearchNode(
         expander.initial_status(start_term, completed),
         None,
@@ -208,16 +215,23 @@ def generate_ranked(
             _priority, _neg_depth, _order, node = heapq.heappop(frontier)
             cost = node.cost
             status = node.status
+            if budget is not None:
+                budget.tick(stats, progress)
 
             if goal.is_satisfied(status.completed):
                 paths.append(node.materialize())
                 costs.append(cost)
                 stats.record_terminal("goal")
+                if progress is not None:
+                    progress.record_terminal("goal", node.depth)
+                    progress.record_emit()
                 if recorder is not None:
                     recorder.record(node.decision("goal", detail={"cost": cost}))
                 continue
             if status.term >= end_term:
                 stats.record_terminal("deadline")
+                if progress is not None:
+                    progress.record_terminal("deadline", node.depth)
                 if recorder is not None:
                     recorder.record(node.decision("deadline"))
                 continue
@@ -231,6 +245,8 @@ def generate_ranked(
                 stats.record_terminal("pruned")
                 stats.record_prune(firing.name)
                 pruning_stats.record(firing.name)
+                if progress is not None:
+                    progress.record_pruned(node.depth)
                 if recorder is not None:
                     recorder.record(
                         node.decision(
@@ -279,8 +295,10 @@ def generate_ranked(
                         continue  # goal unreachable from the child
                     generated += 1
                     if config.max_nodes is not None and generated > config.max_nodes:
-                        stats.stop_timer()
-                        raise BudgetExceededError("nodes", config.max_nodes, generated)
+                        raise budget_exceeded(
+                            "nodes", config.max_nodes, generated,
+                            stats=stats, progress=progress, budget=budget,
+                        )
                     child = _SearchNode(
                         child_status,
                         node,
@@ -298,10 +316,18 @@ def generate_ranked(
                     children += 1
             if not expanded:
                 stats.record_terminal("dead_end")
+                if progress is not None:
+                    progress.record_terminal("dead_end", node.depth)
                 if recorder is not None:
                     recorder.record(node.decision("dead_end"))
-            elif recorder is not None:
-                recorder.record(node.decision("expand", detail={"children": children}))
+            else:
+                if progress is not None:
+                    progress.record_expanded(node.depth, children)
+                    progress.set_frontier(len(frontier))
+                if recorder is not None:
+                    recorder.record(
+                        node.decision("expand", detail={"children": children})
+                    )
 
     stats.stop_timer()
     obs.record_run_stats("ranked", stats)

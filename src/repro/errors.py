@@ -18,6 +18,7 @@ __all__ = [
     "GoalError",
     "ExplorationError",
     "BudgetExceededError",
+    "RunCancelledError",
     "InvalidConfigError",
 ]
 
@@ -90,21 +91,59 @@ class ExplorationError(CourseNavigatorError):
 
 
 class BudgetExceededError(ExplorationError):
-    """An exploration exceeded its node/path/time budget.
+    """An exploration exceeded its node/wall-clock/memory budget.
 
     The paper's deadline-driven algorithm exhausts memory beyond five
     semesters; this exception is the library's controlled equivalent of that
     failure mode.  Attributes record what was exceeded so harnesses (and the
     Table 2 benchmark) can report ``N/A`` rows faithfully.
+
+    When live telemetry is attached to the run (see
+    :mod:`repro.obs.live`), ``progress`` carries the final
+    :class:`~repro.obs.live.ProgressSnapshot` and ``partial_stats`` the
+    run's :class:`~repro.core.stats.ExplorationStats` as of the abort, so
+    a supervisor can report how far the reaped run got; both are ``None``
+    on untracked runs.
     """
 
-    def __init__(self, kind: str, limit: float, observed: float):
+    def __init__(
+        self,
+        kind: str,
+        limit: float,
+        observed: float,
+        progress=None,
+        partial_stats=None,
+    ):
         self.kind = kind
         self.limit = limit
         self.observed = observed
+        self.progress = progress
+        self.partial_stats = partial_stats
         super().__init__(
             f"exploration budget exceeded: {kind} limit {limit} reached (observed {observed})"
         )
+
+
+class RunCancelledError(BudgetExceededError):
+    """A run was cooperatively cancelled from another thread.
+
+    Raised by the exploration thread at its next budget tick after
+    :meth:`~repro.obs.live.ExplorationBudget.cancel` was called (by a
+    watchdog, a request handler, an operator).  Subclasses
+    :class:`BudgetExceededError` so "bounded or reaped" is one except
+    clause, and carries the same ``progress``/``partial_stats`` payload.
+    """
+
+    def __init__(self, reason: str = "cancelled", progress=None, partial_stats=None):
+        self.reason = reason
+        # kind/limit/observed keep the parent's contract meaningful:
+        # a cancellation is a zero-tolerance budget observed once.
+        self.kind = "cancelled"
+        self.limit = 0
+        self.observed = 1
+        self.progress = progress
+        self.partial_stats = partial_stats
+        Exception.__init__(self, f"exploration cancelled: {reason}")
 
 
 class InvalidConfigError(ExplorationError, ValueError):

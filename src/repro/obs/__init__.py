@@ -14,6 +14,13 @@ Three layers, usable separately or bundled:
   :class:`DecisionEvent` records for every expansion/prune/terminal
   decision, collected by a :class:`DecisionRecorder` and analysed by
   :class:`ExplainReport` ("why was this subtree cut?").
+* :mod:`repro.obs.live` — the *online* layer: a :class:`ProgressTracker`
+  the generators feed while they run (thread-safe snapshots, optimistic
+  ETA), an :class:`ExplorationBudget` watchdog (wall/node/memory limits +
+  cooperative cancellation), and a TTY :class:`ProgressPrinter`.
+* :mod:`repro.obs.server` — a :class:`MetricsServer` daemon-thread HTTP
+  exporter serving Prometheus text at ``/metrics`` and live progress
+  JSON at ``/progress``.
 
 :class:`Observability` ties them together for the engine; every generator
 and :class:`~repro.system.navigator.CourseNavigator` accept one.  The
@@ -30,6 +37,14 @@ from .explain import (
     WhyNotAnswer,
     describe_verdict,
     load_decision_events,
+)
+from .live import (
+    PROGRESS_GAUGE_PREFIX,
+    ExplorationBudget,
+    ProgressPrinter,
+    ProgressSnapshot,
+    ProgressTracker,
+    Watchdog,
 )
 from .metrics import (
     DEFAULT_DURATION_BUCKETS,
@@ -51,6 +66,7 @@ from .runtime import (
     SpanMetricsSink,
     current_observability,
 )
+from .server import PROMETHEUS_CONTENT_TYPE, MetricsServer
 from .tracing import (
     NULL_TRACER,
     InMemorySink,
@@ -83,6 +99,16 @@ __all__ = [
     "MemoryProfile",
     "capture_peak_memory",
     "PHASE_METRIC_NAME",
+    # live telemetry
+    "ProgressTracker",
+    "ProgressSnapshot",
+    "ProgressPrinter",
+    "ExplorationBudget",
+    "Watchdog",
+    "PROGRESS_GAUGE_PREFIX",
+    # exporter
+    "MetricsServer",
+    "PROMETHEUS_CONTENT_TYPE",
     # explain
     "DECISION_KINDS",
     "DecisionEvent",

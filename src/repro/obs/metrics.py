@@ -15,11 +15,20 @@ diffing; both are pure reads and may be called at any time.
 Histograms use **fixed bucket boundaries** chosen at creation — a
 cumulative-bucket design identical to Prometheus, so per-phase duration
 histograms from different runs can be summed bucket-wise.
+
+Thread-safety: the registry locks instrument creation/lookup and
+rendering, and histograms lock ``observe``/render — so one engine thread
+can write while scrape threads (the HTTP exporter) render concurrently.
+``Counter``/``Gauge`` writes are deliberately lock-free single bytecode
+read-modify-writes: safe under the single-writer model the engine uses
+(one exploration thread mutates, any number of threads read), where
+readers can never observe a torn or decreasing value.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -188,44 +197,67 @@ class Histogram(Metric):
         self.bucket_counts = [0] * (len(bounds) + 1)  # last slot = +Inf
         self.sum: float = 0.0
         self.count: int = 0
+        # observe() mutates three fields; the lock keeps a concurrent
+        # render from seeing a bucket increment without its sum/count.
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
-        self.count += 1
+        """Record one observation (safe against concurrent renders)."""
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending at ``inf``."""
+        with self._lock:
+            counts = list(self.bucket_counts)
         out: List[Tuple[float, int]] = []
         running = 0
-        for bound, bucket in zip(self.bounds, self.bucket_counts):
+        for bound, bucket in zip(self.bounds, counts):
             running += bucket
             out.append((bound, running))
-        out.append((float("inf"), running + self.bucket_counts[-1]))
+        out.append((float("inf"), running + counts[-1]))
         return out
 
     def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self.bucket_counts)
+            total_sum, total_count = self.sum, self.count
+        buckets: List[List[Any]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, counts):
+            running += bucket
+            buckets.append([bound, running])
+        buckets.append(["+Inf", running + counts[-1]])
         return {
             "name": self.name, "kind": self.kind, "help": self.help,
             "labels": self.label_dict,
-            "buckets": [
-                ["+Inf" if bound == float("inf") else bound, count]
-                for bound, count in self.cumulative_buckets()
-            ],
-            "sum": self.sum,
-            "count": self.count,
+            "buckets": buckets,
+            "sum": total_sum,
+            "count": total_count,
         }
 
     def render(self) -> List[str]:
+        # Snapshot sum/count under the same lock window as the buckets so
+        # one render never mixes generations (sum ahead of buckets).
+        with self._lock:
+            counts = list(self.bucket_counts)
+            total_sum, total_count = self.sum, self.count
         lines = []
-        for bound, cumulative in self.cumulative_buckets():
-            le = "+Inf" if bound == float("inf") else _format_number(bound)
+        running = 0
+        for bound, bucket in zip(self.bounds, counts):
+            running += bucket
+            le = _format_number(bound)
             lines.append(
-                f"{self.name}_bucket{_render_labels(self.labels, ('le', le))} {cumulative}"
+                f"{self.name}_bucket{_render_labels(self.labels, ('le', le))} {running}"
             )
-        lines.append(f"{self.name}_sum{_render_labels(self.labels)} {_format_number(self.sum)}")
-        lines.append(f"{self.name}_count{_render_labels(self.labels)} {self.count}")
+        lines.append(
+            f"{self.name}_bucket{_render_labels(self.labels, ('le', '+Inf'))} "
+            f"{running + counts[-1]}"
+        )
+        lines.append(f"{self.name}_sum{_render_labels(self.labels)} {_format_number(total_sum)}")
+        lines.append(f"{self.name}_count{_render_labels(self.labels)} {total_count}")
         return lines
 
 
@@ -235,27 +267,31 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Metric] = {}
         self._kinds: Dict[str, str] = {}
+        # Guards creation/lookup and family iteration so a scrape thread
+        # rendering mid-run never races a writer registering new series.
+        self._lock = threading.RLock()
 
     def _get_or_create(self, cls, name, help_text, labels, **kwargs) -> Metric:
         frozen = _freeze_labels(labels)
         key = (name, frozen)
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if existing.kind != cls.kind:
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if existing.kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"not {cls.kind}"
+                    )
+                return existing
+            registered_kind = self._kinds.get(name)
+            if registered_kind is not None and registered_kind != cls.kind:
                 raise ValueError(
-                    f"metric {name!r} already registered as {existing.kind}, "
-                    f"not {cls.kind}"
+                    f"metric {name!r} already registered as {registered_kind}, not {cls.kind}"
                 )
-            return existing
-        registered_kind = self._kinds.get(name)
-        if registered_kind is not None and registered_kind != cls.kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {registered_kind}, not {cls.kind}"
-            )
-        metric = cls(name, help_text, frozen, **kwargs)
-        self._metrics[key] = metric
-        self._kinds[name] = cls.kind
-        return metric
+            metric = cls(name, help_text, frozen, **kwargs)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+            return metric
 
     def counter(
         self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
@@ -285,24 +321,31 @@ class MetricsRegistry:
         self, name: str, labels: Optional[Mapping[str, str]] = None
     ) -> Optional[Metric]:
         """The instrument registered under (name, labels), if any."""
-        return self._metrics.get((name, _freeze_labels(labels)))
+        with self._lock:
+            return self._metrics.get((name, _freeze_labels(labels)))
 
     def __iter__(self) -> Iterator[Metric]:
-        return iter(self._metrics.values())
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     # -- export --------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-serializable snapshot of every instrument."""
-        return {"metrics": [metric.as_dict() for metric in self._metrics.values()]}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {"metrics": [metric.as_dict() for metric in metrics]}
 
     def render_prometheus(self) -> str:
         """The Prometheus text exposition of every instrument."""
+        with self._lock:
+            metrics = list(self._metrics.values())
         by_name: Dict[str, List[Metric]] = {}
-        for metric in self._metrics.values():
+        for metric in metrics:
             by_name.setdefault(metric.name, []).append(metric)
         lines: List[str] = []
         for name in sorted(by_name):

@@ -20,6 +20,18 @@ bundle through a :mod:`contextvars` variable so deeply nested code that
 the engine cannot thread arguments into — the max-flow solver inside
 :class:`~repro.requirements.goals.DegreeGoal` — can pick it up with
 :func:`current_observability` and charge its time to the ``flow`` phase.
+
+**Thread visibility.**  A run scope entered in one thread is *not*
+visible from another: each ``threading.Thread`` starts with a fresh
+:mod:`contextvars` context, so :func:`current_observability` answers
+``None`` there — by design, because the publication token, the tracer's
+span stack, and the phase breakdown are all single-thread state.  A
+worker thread that should report into an existing bundle must opt in
+explicitly with :meth:`Observability.activate`::
+
+    def worker():
+        with obs.activate():           # publish in *this* thread only
+            goal.remaining_courses(x)  # flow time now lands in the bundle
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from contextvars import ContextVar
 from typing import Any, Dict, Optional
 
 from .explain import DecisionRecorder
+from .live import ExplorationBudget, ProgressTracker
 from .metrics import Histogram, MetricsRegistry
 from .profiling import PHASE_METRIC_NAME, PhaseBreakdown, capture_peak_memory
 from .tracing import NULL_SPAN, NULL_TRACER, SpanSink, Tracer
@@ -84,6 +97,24 @@ def current_observability() -> "Optional[Observability]":
     the uninstrumented path on it.
     """
     return _ACTIVE.get()
+
+
+class _Activation:
+    """Context manager for :meth:`Observability.activate` (thread handoff)."""
+
+    __slots__ = ("_obs", "_token")
+
+    def __init__(self, obs: "Observability"):
+        self._obs = obs
+        self._token = None
+
+    def __enter__(self) -> "Observability":
+        self._token = _ACTIVE.set(self._obs)
+        return self._obs
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> bool:
+        _ACTIVE.reset(self._token)
+        return False
 
 
 class _PhaseScope:
@@ -152,6 +183,8 @@ class _RunScope:
                 ).set(profile.peak_bytes)
         self._span.__exit__(exc_type, exc_val, exc_tb)
         _ACTIVE.reset(self._token)
+        if exc_type is None and obs.progress is not None:
+            obs.progress.finish_run()
         return False
 
 
@@ -172,6 +205,21 @@ class Observability:
         attached, the generators record every expansion/prune/terminal
         decision as a typed event (the EXPLAIN layer); the hot loops pay a
         single ``is not None`` check when it is absent.
+    progress:
+        A :class:`~repro.obs.live.ProgressTracker`, or ``None``.  When
+        attached, the generators feed it incrementally (expansion, prune,
+        terminal, frontier width, emitted paths) so other threads can
+        watch the run mid-flight via snapshots, gauges, or the HTTP
+        exporter (:mod:`repro.obs.server`).
+    budget:
+        An :class:`~repro.obs.live.ExplorationBudget`, or ``None``.  When
+        attached, the generators tick it once per decided node; exceeding
+        a limit (or a cooperative :meth:`~repro.obs.live.ExplorationBudget.cancel`
+        from another thread) aborts the run with
+        :class:`~repro.errors.BudgetExceededError` carrying the final
+        progress snapshot.  A budget with no tracker gets a private
+        :class:`~repro.obs.live.ProgressTracker` so its exceptions always
+        carry a snapshot.
 
     With no backend at all the bundle is ``enabled == False`` and every
     hook degrades to a shared no-op.  When both a real tracer and a
@@ -184,6 +232,8 @@ class Observability:
         "metrics",
         "capture_memory",
         "decisions",
+        "progress",
+        "budget",
         "phases",
         "enabled",
         "last_memory",
@@ -196,17 +246,25 @@ class Observability:
         metrics: Optional[MetricsRegistry] = None,
         capture_memory: bool = False,
         decisions: Optional[DecisionRecorder] = None,
+        progress: Optional[ProgressTracker] = None,
+        budget: Optional[ExplorationBudget] = None,
     ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.capture_memory = capture_memory
         self.decisions = decisions
+        if budget is not None and progress is None:
+            progress = ProgressTracker()
+        self.progress = progress
+        self.budget = budget
         self.phases = PhaseBreakdown()
         self.enabled = bool(
             self.tracer.enabled
             or metrics is not None
             or capture_memory
             or decisions is not None
+            or progress is not None
+            or budget is not None
         )
         self.last_memory = None
         self._histograms: Dict[str, Optional[Histogram]] = {}
@@ -230,6 +288,19 @@ class Observability:
             return NULL_SPAN
         return _PhaseScope(self, name, attributes)
 
+    def activate(self):
+        """Publish this bundle via :func:`current_observability` in the
+        *calling* thread.
+
+        Run scopes do this implicitly, but :mod:`contextvars` state never
+        crosses thread boundaries — a worker thread spawned inside a run
+        sees ``None``.  ``activate()`` is the explicit handoff: enter it at
+        the top of the worker so nested code (e.g. the flow solver) finds
+        the bundle there too.  The scope must be exited in the same thread
+        it was entered in.
+        """
+        return _Activation(self)
+
     # -- counters ------------------------------------------------------------
 
     def record_run_stats(self, kind: str, stats) -> None:
@@ -241,6 +312,8 @@ class Observability:
         registry = self.metrics
         if registry is None:
             return
+        if self.progress is not None:
+            self.progress.publish_gauges(registry)
         registry.counter(
             "repro_runs_total", "exploration runs observed", labels={"kind": kind}
         ).inc()

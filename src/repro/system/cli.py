@@ -35,8 +35,17 @@ from ..data import (
     start_term_for_semesters,
 )
 from ..data.brandeis import EVALUATION_END_TERM, course_rows
-from ..errors import CourseNavigatorError
-from ..obs import DecisionRecorder, JsonlSink, MetricsRegistry, Tracer
+from ..errors import BudgetExceededError, CourseNavigatorError
+from ..obs import (
+    DecisionRecorder,
+    ExplorationBudget,
+    JsonlSink,
+    MetricsRegistry,
+    MetricsServer,
+    ProgressPrinter,
+    ProgressTracker,
+    Tracer,
+)
 from ..parsing import load_catalog
 from ..requirements import CourseSetGoal, Goal
 from ..semester import Term
@@ -83,6 +92,41 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write engine metrics to FILE (.json for a JSON snapshot, "
         "anything else for Prometheus text exposition)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live progress line (nodes, frontier, ETA) to stderr",
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus text at /metrics and live progress JSON at "
+        "/progress on 127.0.0.1:PORT for the run's duration (0 picks an "
+        "ephemeral port; the resolved address is printed to stderr)",
+    )
+    parser.add_argument(
+        "--wall-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort the run after this much wall-clock time",
+    )
+    parser.add_argument(
+        "--node-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the run after creating this many search nodes",
+    )
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="abort the run when process memory exceeds this many MiB",
     )
 
 
@@ -246,10 +290,17 @@ def _load(args: argparse.Namespace) -> CourseNavigator:
     tracer = getattr(args, "_tracer", None)
     metrics = getattr(args, "_metrics", None)
     decisions = getattr(args, "_decisions", None)
+    progress = getattr(args, "_progress", None)
+    budget = getattr(args, "_budget", None)
     if getattr(args, "catalog", None):
         catalog = load_catalog(args.catalog)
         return CourseNavigator(
-            catalog, tracer=tracer, metrics=metrics, decisions=decisions
+            catalog,
+            tracer=tracer,
+            metrics=metrics,
+            decisions=decisions,
+            progress=progress,
+            budget=budget,
         )
     return CourseNavigator(
         brandeis_catalog(),
@@ -257,6 +308,8 @@ def _load(args: argparse.Namespace) -> CourseNavigator:
         tracer=tracer,
         metrics=metrics,
         decisions=decisions,
+        progress=progress,
+        budget=budget,
     )
 
 
@@ -549,23 +602,79 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     explain_path = getattr(args, "explain", None)
+    serve_port = getattr(args, "serve_metrics", None)
     args._tracer = Tracer(sinks=[JsonlSink(trace_path)]) if trace_path else None
-    args._metrics = MetricsRegistry() if metrics_path else None
+    args._metrics = (
+        MetricsRegistry() if (metrics_path or serve_port is not None) else None
+    )
     args._decisions = (
         DecisionRecorder(sinks=[JsonlSink(explain_path)]) if explain_path else None
     )
+    wall_budget = getattr(args, "wall_budget", None)
+    node_budget = getattr(args, "node_budget", None)
+    memory_budget_mb = getattr(args, "memory_budget_mb", None)
+    args._budget = (
+        ExplorationBudget(
+            wall_seconds=wall_budget,
+            max_nodes=node_budget,
+            max_memory_bytes=(
+                int(memory_budget_mb * 1024 * 1024)
+                if memory_budget_mb is not None
+                else None
+            ),
+        )
+        if (wall_budget, node_budget, memory_budget_mb) != (None, None, None)
+        else None
+    )
+    # The tracker backs the TTY line, the /progress endpoint, and the
+    # partial snapshot attached to budget aborts — any of those wants it.
+    args._progress = (
+        ProgressTracker()
+        if (
+            getattr(args, "progress", False)
+            or serve_port is not None
+            or args._budget is not None
+        )
+        else None
+    )
+    server: Optional[MetricsServer] = None
+    printer: Optional[ProgressPrinter] = None
     try:
+        if serve_port is not None:
+            server = MetricsServer(
+                registry=args._metrics,
+                progress=args._progress,
+                budget=args._budget,
+                port=serve_port,
+            ).start()
+            # Printed before the run starts so watchers (and the CI smoke)
+            # can discover an ephemeral port while the run is still going.
+            print(f"serving live telemetry on {server.url}", file=sys.stderr)
+        if getattr(args, "progress", False) and args._progress is not None:
+            printer = ProgressPrinter(args._progress, stream=sys.stderr).start()
         return handlers[args.command](args, sys.stdout)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.progress is not None:
+            print(f"partial progress: {exc.progress.render_line()}", file=sys.stderr)
+        return 3
     except CourseNavigatorError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if printer is not None:
+            printer.close()
+        if server is not None:
+            server.close()
         if args._tracer is not None:
             args._tracer.close()
             print(f"trace written to {trace_path}", file=sys.stderr)
         if args._metrics is not None:
-            _write_metrics(args._metrics, metrics_path)
-            print(f"metrics written to {metrics_path}", file=sys.stderr)
+            if args._progress is not None:
+                args._progress.publish_gauges(args._metrics)
+            if metrics_path:
+                _write_metrics(args._metrics, metrics_path)
+                print(f"metrics written to {metrics_path}", file=sys.stderr)
         if args._decisions is not None:
             args._decisions.close()
             if explain_path:

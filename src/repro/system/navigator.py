@@ -43,7 +43,14 @@ from ..core.pruning import Pruner
 from ..analysis import check_containment, ContainmentReport, is_generated_goal_path
 from ..errors import ExplorationError
 from ..graph.path import LearningPath
-from ..obs import DecisionRecorder, MetricsRegistry, Observability, Tracer
+from ..obs import (
+    DecisionRecorder,
+    ExplorationBudget,
+    MetricsRegistry,
+    Observability,
+    ProgressTracker,
+    Tracer,
+)
 from ..requirements import Goal
 from ..semester import Term
 
@@ -75,6 +82,15 @@ class CourseNavigator:
         Optional :class:`~repro.obs.DecisionRecorder`; every exploration
         run this navigator performs records its expansion/prune/terminal
         decisions into it (the EXPLAIN layer).
+    progress:
+        Optional :class:`~repro.obs.ProgressTracker`; every run feeds it
+        incrementally so other threads can watch live (snapshots, the
+        ``/progress`` endpoint, the TTY progress line).
+    budget:
+        Optional :class:`~repro.obs.ExplorationBudget`; every run ticks it
+        and dies with :class:`~repro.errors.BudgetExceededError` (carrying
+        the final progress snapshot) when a wall/node/memory limit is hit
+        or another thread cancels it.
 
     With none of the observability arguments, runs are completely
     uninstrumented (the engine's no-op fast path).
@@ -88,6 +104,8 @@ class CourseNavigator:
         metrics: Optional[MetricsRegistry] = None,
         capture_memory: bool = False,
         decisions: Optional[DecisionRecorder] = None,
+        progress: Optional[ProgressTracker] = None,
+        budget: Optional[ExplorationBudget] = None,
     ):
         self._catalog = catalog
         self._offering_model = offering_model or catalog.offering_model
@@ -96,6 +114,8 @@ class CourseNavigator:
             and metrics is None
             and not capture_memory
             and decisions is None
+            and progress is None
+            and budget is None
         ):
             self._obs: Optional[Observability] = None
         else:
@@ -104,6 +124,8 @@ class CourseNavigator:
                 metrics=metrics,
                 capture_memory=capture_memory,
                 decisions=decisions,
+                progress=progress,
+                budget=budget,
             )
 
     @property

@@ -361,6 +361,94 @@ class TestObservabilityFlags:
         assert metrics_path.read_text().strip()
 
 
+class TestLiveTelemetryFlags:
+    def test_node_budget_aborts_with_partial_progress(self, capsys):
+        code, _out, err = run_cli(
+            capsys,
+            "goal",
+            "--start", "Fall 2013",
+            "--end", "Fall 2015",
+            "--node-budget", "200",
+        )
+        assert code == 3
+        assert "budget exceeded" in err
+        assert "partial progress:" in err
+        assert "[goal_driven]" in err
+
+    def test_wall_budget_aborts_exhaustive_deadline(self, capsys):
+        code, _out, err = run_cli(
+            capsys,
+            "deadline",
+            "--start", "Fall 2013",
+            "--end", "Fall 2015",
+            "--wall-budget", "0",
+        )
+        assert code == 3
+        assert "wall seconds" in err
+        assert "partial progress:" in err
+
+    def test_progress_flag_prints_final_line(self, capsys, tmp_path, fig3_catalog):
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--progress",
+        )
+        assert code == 0
+        assert "1 goal paths" in out
+        # close() always writes one final line, however fast the run was.
+        assert "[goal_driven]" in err
+        assert "done" in err
+
+    def test_serve_metrics_announces_ephemeral_port(self, capsys, tmp_path, fig3_catalog):
+        import re
+
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        code, out, err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--serve-metrics", "0",
+        )
+        assert code == 0
+        assert "1 goal paths" in out
+        match = re.search(
+            r"serving live telemetry on http://127\.0\.0\.1:(\d+)", err
+        )
+        assert match, err
+        assert int(match.group(1)) > 0
+
+    def test_serve_metrics_with_metrics_out(self, capsys, tmp_path, fig3_catalog):
+        # --serve-metrics alone creates a registry; --metrics-out still
+        # writes it (with the progress gauges folded in) at exit.
+        path = tmp_path / "cat.json"
+        save_catalog(fig3_catalog, path)
+        metrics_path = tmp_path / "metrics.prom"
+        code, _out, err = run_cli(
+            capsys,
+            "goal",
+            "--catalog", str(path),
+            "--start", "Fall 2011",
+            "--end", "Fall 2012",
+            "--goal-courses", "11A", "29A", "21A",
+            "--serve-metrics", "0",
+            "--metrics-out", str(metrics_path),
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "repro_progress_nodes_seen" in text
+        assert 'repro_runs_total{kind="goal_driven"} 1' in text
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
