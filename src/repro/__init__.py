@@ -34,6 +34,7 @@ Package map (details in DESIGN.md):
 - :mod:`repro.system` — the CourseNavigator façade, visualizer, CLI
 - :mod:`repro.analysis` — containment checks and path statistics
 - :mod:`repro.obs` — span tracing, metrics registry, phase profiling
+- :mod:`repro.cache` — flow/eval memos, transposition tables, cache store
 """
 
 from .semester import AcademicCalendar, SPRING_FALL, Term, term_range
@@ -86,6 +87,7 @@ from .obs import (
     Observability,
     Tracer,
 )
+from .cache import CacheStore, ExplorationCache
 from .system import CourseNavigator
 
 __version__ = "1.0.0"
@@ -144,6 +146,9 @@ __all__ = [
     "DecisionEvent",
     "DecisionRecorder",
     "ExplainReport",
+    # caching
+    "ExplorationCache",
+    "CacheStore",
     # system
     "CourseNavigator",
     "__version__",

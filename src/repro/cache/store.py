@@ -1,0 +1,164 @@
+"""Persistent cross-run cache store (JSON-lines under ``--cache-dir``).
+
+One file per catalog content fingerprint::
+
+    <cache-dir>/flow-<catalog fingerprint>.jsonl
+
+Line 1 is a header naming the format, version and catalog fingerprint;
+every further line is one exported :class:`~repro.cache.memos.FlowMemo`
+entry.  Flow entries are the right thing to persist: they are the
+expensive computations (max-flow solves), they are keyed purely by
+*content* (goal fingerprint + completed set), and they stay valid for as
+long as the goal definition does — unlike option sets, which depend on
+the catalog object wholesale and reload in microseconds anyway.
+
+Invalidation is structural, not procedural:
+
+* a **changed catalog** produces a different fingerprint, hence a
+  different path — the stale file is never even opened;
+* a **header mismatch** (foreign file, version bump, fingerprint edit)
+  makes the load return zero entries — a graceful cold start;
+* a **corrupt line** (truncated write, bit rot) is skipped individually,
+  keeping every decodable entry.
+
+Writes go to a temp file in the same directory followed by
+:func:`os.replace`, so a crash mid-save leaves the previous store intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from .memos import FlowMemo
+
+__all__ = ["CacheStore"]
+
+STORE_FORMAT = "repro-cache-flow"
+STORE_VERSION = 1
+
+
+class CacheStore:
+    """Load/save one catalog's flow-memo entries under ``cache_dir``."""
+
+    __slots__ = (
+        "cache_dir",
+        "catalog_fingerprint",
+        "path",
+        "loaded_entries",
+        "saved_entries",
+        "warm_start",
+    )
+
+    def __init__(self, cache_dir: str, catalog_fingerprint: str):
+        self.cache_dir = cache_dir
+        self.catalog_fingerprint = catalog_fingerprint
+        self.path = os.path.join(cache_dir, f"flow-{catalog_fingerprint}.jsonl")
+        self.loaded_entries = 0
+        self.saved_entries = 0
+        #: Whether a valid store file existed and was loaded.
+        self.warm_start = False
+
+    def _header(self) -> Dict[str, Any]:
+        return {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "catalog": self.catalog_fingerprint,
+        }
+
+    def _header_valid(self, line: str) -> bool:
+        try:
+            header = json.loads(line)
+        except ValueError:
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("format") == STORE_FORMAT
+            and header.get("version") == STORE_VERSION
+            and header.get("catalog") == self.catalog_fingerprint
+        )
+
+    def load_into(self, flow: FlowMemo) -> int:
+        """Preload ``flow`` from disk; returns the entry count (0 = cold).
+
+        Never raises on bad content: an unreadable file, a foreign or
+        stale header, and individually corrupt lines all degrade to
+        loading less — the engine then recomputes, it never miscomputes.
+        """
+        self.loaded_entries = 0
+        self.warm_start = False
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                header_line = handle.readline()
+                if not self._header_valid(header_line):
+                    return 0
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(entry, dict) and flow.preload(entry):
+                        self.loaded_entries += 1
+        except OSError:
+            return 0
+        self.warm_start = self.loaded_entries > 0
+        return self.loaded_entries
+
+    def save_from(self, flow: FlowMemo) -> int:
+        """Atomically write ``flow``'s entries; returns the entry count."""
+        os.makedirs(self.cache_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".flow-", suffix=".tmp", dir=self.cache_dir
+        )
+        count = 0
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(self._header(), sort_keys=True) + "\n")
+                for entry in flow.export_entries():
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                    count += 1
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.saved_entries = count
+        return count
+
+    def stats(self) -> Dict[str, Any]:
+        """A plain-dict snapshot for reports."""
+        return {
+            "path": self.path,
+            "catalog": self.catalog_fingerprint,
+            "warm_start": self.warm_start,
+            "loaded_entries": self.loaded_entries,
+            "saved_entries": self.saved_entries,
+        }
+
+    def exists(self) -> bool:
+        """Whether a store file is present (valid or not)."""
+        return os.path.exists(self.path)
+
+    @staticmethod
+    def invalidation_note(cache_dir: str) -> Optional[str]:
+        """Short note listing stale store files left in ``cache_dir``
+        (files for other catalog fingerprints); ``None`` when clean.
+        Informational only — stale files are inert, never loaded."""
+        try:
+            names = [
+                name
+                for name in os.listdir(cache_dir)
+                if name.startswith("flow-") and name.endswith(".jsonl")
+            ]
+        except OSError:
+            return None
+        if len(names) > 1:
+            return f"{len(names)} catalog generations in {cache_dir}"
+        return None

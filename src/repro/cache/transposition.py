@@ -1,0 +1,104 @@
+"""Transposition table: reuse pruning outcomes across identical statuses.
+
+Tree-shaped exploration revisits states: two different selection orders
+that complete the same courses by the same semester produce two tree
+nodes with one ``(term, completed)`` key, and the pruning verdict at that
+key is a pure function of the key once the goal, end term and config are
+fixed (the same fact that makes :mod:`repro.core.counting`'s merged DAG
+exact).  The table records, per distinct status, which strategy fired
+(or that none did) together with the structured verdicts when decision
+recording asked for them — so a transposed node pays one dict lookup
+instead of a max-flow solve plus a satisfaction check.
+
+Entries are namespaced by a *run key* — ``(goal fingerprint, end term,
+config, pruner-stack signature)`` — so one table safely serves many
+queries: only runs that would provably compute identical verdicts share
+entries, and anything else (different deadline, different ``m``, a
+reordered or custom pruner stack) gets its own namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..core.pruning import Pruner, examine_pruners, first_firing_pruner
+from ..graph.status import EnrollmentStatus
+from .memo import LRUMemo
+
+__all__ = ["TranspositionTable", "TranspositionView"]
+
+DEFAULT_TRANSPOSITION_CAPACITY = 200_000
+
+#: ``(firing strategy name or None, verdict dicts or None)``.
+Entry = Tuple[Optional[str], Optional[Tuple[Dict[str, Any], ...]]]
+
+
+def pruner_signature(pruners: Sequence[Pruner]) -> Tuple[Tuple[str, str], ...]:
+    """A content key for a pruner stack: class identity + name, in order.
+
+    First-fires-wins means the *order* of the stack is part of the
+    decision, so reordered stacks must not share entries.
+    """
+    return tuple(
+        (type(pruner).__module__ + "." + type(pruner).__qualname__, pruner.name)
+        for pruner in pruners
+    )
+
+
+class TranspositionView:
+    """One run's window onto the shared table (run key pre-bound)."""
+
+    __slots__ = ("_memo", "_run_key")
+
+    def __init__(self, memo: LRUMemo, run_key: Any):
+        self._memo = memo
+        self._run_key = run_key
+
+    def consult(
+        self,
+        pruners: Sequence[Pruner],
+        status: EnrollmentStatus,
+        obs=None,
+        want_verdicts: bool = False,
+    ) -> Entry:
+        """The pruner stack's answer for ``status``, cached.
+
+        Drop-in for :func:`~repro.core.pruning.first_firing_pruner` /
+        :func:`~repro.core.pruning.examine_pruners` — same first-fires-wins
+        semantics, same per-strategy phase charging on a miss — except the
+        firing strategy comes back by *name* and the verdicts as the
+        ``as_dict`` forms the decision recorder stores.
+
+        A boolean-only entry (recorded while no decisions were being
+        audited) cannot serve a ``want_verdicts`` consult; it is recomputed
+        and upgraded in place so explain streams stay byte-identical with
+        caching on.
+        """
+        key = (self._run_key, status.term, status.completed)
+        found, entry = self._memo.lookup(key)
+        if found and (not want_verdicts or entry[1] is not None):
+            return entry
+        if want_verdicts:
+            firing, verdicts = examine_pruners(pruners, status, obs)
+            entry = (
+                firing.name if firing is not None else None,
+                tuple(verdict.as_dict() for verdict in verdicts),
+            )
+        else:
+            firing = first_firing_pruner(pruners, status, obs)
+            entry = (firing.name if firing is not None else None, None)
+        self._memo.store(key, entry)
+        return entry
+
+
+class TranspositionTable:
+    """The process-wide table; hand each run a :class:`TranspositionView`."""
+
+    __slots__ = ("memo",)
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_TRANSPOSITION_CAPACITY):
+        self.memo = LRUMemo("transposition", capacity)
+
+    def view(self, run_key: Any) -> TranspositionView:
+        """A view namespaced under ``run_key``."""
+        return TranspositionView(self.memo, run_key)

@@ -80,19 +80,23 @@ def build_deadline_dag(
     end_term: Term,
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
+    cache=None,
 ) -> CountResult:
     """Deadline-driven expansion over merged statuses.
 
     Same rules as :func:`~repro.core.deadline.generate_deadline_driven`;
     ``path_count`` equals the tree algorithm's output-path count exactly.
-    ``config.max_nodes`` bounds *distinct statuses* here.
+    ``config.max_nodes`` bounds *distinct statuses* here.  ``cache`` is an
+    optional :class:`~repro.cache.ExplorationCache` (option sets only
+    here — the DAG already merges statuses within the run, so the shared
+    memo pays off across *runs*).
     """
     config = config or ExplorationConfig()
     _check_inputs(catalog, start_term, end_term, completed)
 
     stats = ExplorationStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config)
+    expander = Expander(catalog, end_term, config, cache=cache)
     root = expander.initial_status(start_term, completed)
     dag = MergedStatusDag(root)
     stats.record_node()
@@ -135,25 +139,38 @@ def build_goal_dag(
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
     pruners: Optional[List[Pruner]] = None,
+    cache=None,
 ) -> CountResult:
     """Goal-driven expansion over merged statuses.
 
     Pruning decisions depend only on a status's ``(term, completed)`` key,
     so they merge cleanly; ``path_count`` counts goal paths and equals the
-    tree algorithm's output exactly (property-tested).
+    tree algorithm's output exactly (property-tested).  ``cache`` is an
+    optional :class:`~repro.cache.ExplorationCache` — within one run the
+    DAG already deduplicates statuses, so its value here is cross-run
+    reuse of flow results, option sets and transposed verdicts.
     """
     config = config or ExplorationConfig()
     _check_inputs(catalog, start_term, end_term, completed)
 
-    context = PruningContext(catalog=catalog, goal=goal, end_term=end_term, config=config)
+    if cache is not None:
+        goal = cache.wrap_goal(goal)
+    context = PruningContext(
+        catalog=catalog, goal=goal, end_term=end_term, config=config, cache=cache
+    )
     if pruners is None:
         pruners = default_pruners(context)
     time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
+    transpositions = (
+        cache.transposition_view(goal, end_term, config, pruners)
+        if cache is not None and pruners
+        else None
+    )
 
     stats = ExplorationStats()
     pruning_stats = PruningStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config)
+    expander = Expander(catalog, end_term, config, cache=cache)
     root = expander.initial_status(start_term, completed)
     dag = MergedStatusDag(root)
     stats.record_node()
@@ -170,12 +187,16 @@ def build_goal_dag(
             dag.mark_terminal(key, "deadline")
             stats.record_terminal("deadline")
             continue
-        firing = first_firing_pruner(pruners, status)
-        if firing is not None:
+        if transpositions is not None:
+            firing_name, _ = transpositions.consult(pruners, status)
+        else:
+            firing = first_firing_pruner(pruners, status)
+            firing_name = firing.name if firing is not None else None
+        if firing_name is not None:
             dag.mark_terminal(key, "pruned")
             stats.record_terminal("pruned")
-            stats.record_prune(firing.name)
-            pruning_stats.record(firing.name)
+            stats.record_prune(firing_name)
+            pruning_stats.record(firing_name)
             continue
 
         floor = _selection_floor(time_pruner, config, status)
@@ -216,9 +237,12 @@ def count_deadline_paths(
     end_term: Term,
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
+    cache=None,
 ) -> int:
     """Exact deadline-driven path count without materializing the tree."""
-    return build_deadline_dag(catalog, start_term, end_term, completed, config).path_count
+    return build_deadline_dag(
+        catalog, start_term, end_term, completed, config, cache=cache
+    ).path_count
 
 
 def count_goal_paths(
@@ -229,8 +253,9 @@ def count_goal_paths(
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
     pruners: Optional[List[Pruner]] = None,
+    cache=None,
 ) -> int:
     """Exact goal-driven path count without materializing the tree."""
     return build_goal_dag(
-        catalog, start_term, goal, end_term, completed, config, pruners
+        catalog, start_term, goal, end_term, completed, config, pruners, cache=cache
     ).path_count

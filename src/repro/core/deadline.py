@@ -54,6 +54,7 @@ def generate_deadline_driven(
     completed: AbstractSet[str] = frozenset(),
     config: Optional[ExplorationConfig] = None,
     obs: Optional[Observability] = None,
+    cache=None,
 ) -> DeadlineResult:
     """Algorithm 1: every learning path from ``start_term`` to ``end_term``.
 
@@ -73,6 +74,10 @@ def generate_deadline_driven(
     obs:
         Optional :class:`~repro.obs.runtime.Observability`; when enabled,
         the run emits a ``run:deadline`` span with ``expand`` phases.
+    cache:
+        Optional :class:`~repro.cache.ExplorationCache`; option sets are
+        then served from its shared eval memo (deadline-driven runs have
+        no goal, so the flow and transposition layers are unused).
 
     Returns
     -------
@@ -100,7 +105,7 @@ def generate_deadline_driven(
         obs = NULL_OBSERVABILITY
     stats = ExplorationStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config, obs=obs)
+    expander = Expander(catalog, end_term, config, obs=obs, cache=cache)
     graph = LearningGraph(expander.initial_status(start_term, completed))
     stats.record_node()
 

@@ -34,6 +34,10 @@ class Expander:
         empty-selection policy to decide whether waiting can still pay off).
     config:
         Student constraints and engine knobs.
+    cache:
+        Optional :class:`~repro.cache.ExplorationCache`; option sets are
+        then served from its shared eval memo, so transposed statuses
+        (and repeated runs over the same catalog) compute each ``Y`` once.
     """
 
     def __init__(
@@ -42,11 +46,13 @@ class Expander:
         end_term: Term,
         config: ExplorationConfig,
         obs=None,
+        cache=None,
     ):
         self._catalog = catalog
         self._end_term = end_term
         self._config = config
         self._schedule = config.schedule if config.schedule is not None else catalog.schedule
+        self._eval_memo = cache.eval if cache is not None else None
         # Resolve the metrics counter once up front so options() pays only a
         # None check per call when observability is off (the common case).
         self._options_counter = None
@@ -78,6 +84,14 @@ class Expander:
         (honouring the avoid-list and schedule override)."""
         if self._options_counter is not None:
             self._options_counter.inc()
+        if self._eval_memo is not None:
+            return self._eval_memo.options(
+                self._catalog,
+                self._schedule,
+                completed,
+                term,
+                self._config.avoid_courses,
+            )
         return self._catalog.eligible_courses(
             completed,
             term,

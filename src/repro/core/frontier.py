@@ -102,10 +102,16 @@ def _run_frontier(
     count_dead_ends: bool,
     max_frontier: Optional[int],
     obs: Observability,
+    cache=None,
 ) -> FrontierCount:
     watch = Stopwatch()
     watch.start()
-    expander = Expander(catalog, end_term, config, obs=obs)
+    expander = Expander(catalog, end_term, config, obs=obs, cache=cache)
+    transpositions = (
+        cache.transposition_view(goal, end_term, config, pruners)
+        if cache is not None and goal is not None and pruners
+        else None
+    )
     pruning_stats = PruningStats()
 
     frontier: Dict[FrozenSet[str], int] = {frozenset(completed): 1}
@@ -172,14 +178,23 @@ def _run_frontier(
                         _record("deadline", status, multiplicity)
                     continue
                 if goal is not None:
-                    if recorder is None:
+                    if transpositions is not None:
+                        with obs.phase("prune"):
+                            firing_name, verdict_dicts = transpositions.consult(
+                                pruners, status, obs, want_verdicts=recorder is not None
+                            )
+                    elif recorder is None:
                         with obs.phase("prune"):
                             firing = first_firing_pruner(pruners, status, obs)
+                        firing_name = firing.name if firing is not None else None
+                        verdict_dicts = None
                     else:
                         with obs.phase("prune"):
                             firing, verdicts = examine_pruners(pruners, status, obs)
-                    if firing is not None:
-                        pruning_stats.record(firing.name)
+                        firing_name = firing.name if firing is not None else None
+                        verdict_dicts = tuple(v.as_dict() for v in verdicts)
+                    if firing_name is not None:
+                        pruning_stats.record(firing_name)
                         _terminate("pruned", multiplicity)
                         if progress is not None:
                             progress.record_pruned(depth)
@@ -188,8 +203,8 @@ def _run_frontier(
                                 "prune",
                                 status,
                                 multiplicity,
-                                strategy=firing.name,
-                                verdicts=tuple(v.as_dict() for v in verdicts),
+                                strategy=firing_name,
+                                verdicts=verdict_dicts,
                             )
                         continue
                     floor = _selection_floor(time_pruner, config, status)
@@ -286,6 +301,7 @@ def frontier_count_goal_paths(
     pruners: Optional[List[Pruner]] = None,
     max_frontier: Optional[int] = None,
     obs: Optional[Observability] = None,
+    cache=None,
 ) -> FrontierCount:
     """Exact goal-driven path count with one-layer memory.
 
@@ -293,11 +309,17 @@ def frontier_count_goal_paths(
     exactly; ``max_frontier`` bounds the widest layer, raising
     :class:`~repro.errors.BudgetExceededError` beyond it.  ``obs`` is an
     optional :class:`~repro.obs.runtime.Observability` bundle (span
-    ``run:frontier_goal`` with ``expand``/``merge``/``prune`` phases).
+    ``run:frontier_goal`` with ``expand``/``merge``/``prune`` phases);
+    ``cache`` an optional :class:`~repro.cache.ExplorationCache`
+    (count-identical, like all cached runs).
     """
     config = config or ExplorationConfig()
     _check_inputs(catalog, start_term, end_term, completed)
-    context = PruningContext(catalog=catalog, goal=goal, end_term=end_term, config=config)
+    if cache is not None:
+        goal = cache.wrap_goal(goal)
+    context = PruningContext(
+        catalog=catalog, goal=goal, end_term=end_term, config=config, cache=cache
+    )
     if pruners is None:
         pruners = default_pruners(context)
     time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
@@ -313,6 +335,7 @@ def frontier_count_goal_paths(
         count_dead_ends=False,
         max_frontier=max_frontier,
         obs=obs if obs is not None else NULL_OBSERVABILITY,
+        cache=cache,
     )
 
 
@@ -324,6 +347,7 @@ def frontier_count_deadline_paths(
     config: Optional[ExplorationConfig] = None,
     max_frontier: Optional[int] = None,
     obs: Optional[Observability] = None,
+    cache=None,
 ) -> FrontierCount:
     """Exact deadline-driven path count with one-layer memory.
 
@@ -344,4 +368,5 @@ def frontier_count_deadline_paths(
         count_dead_ends=True,
         max_frontier=max_frontier,
         obs=obs if obs is not None else NULL_OBSERVABILITY,
+        cache=cache,
     )

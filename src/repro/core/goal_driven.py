@@ -113,6 +113,7 @@ def generate_goal_driven(
     config: Optional[ExplorationConfig] = None,
     pruners: Optional[List[Pruner]] = None,
     obs: Optional[Observability] = None,
+    cache=None,
 ) -> GoalDrivenResult:
     """Generate every learning path that satisfies ``goal`` by ``end_term``.
 
@@ -133,6 +134,11 @@ def generate_goal_driven(
         enabled, the run emits a ``run:goal_driven`` span with nested
         ``expand``/``prune``/``flow`` phases and publishes the finished
         stats to the metrics registry.
+    cache:
+        Optional :class:`~repro.cache.ExplorationCache`.  Goal queries,
+        option sets and pruning verdicts are then memoized (within the
+        run and across runs sharing the cache) — output-identical to the
+        uncached run, including decision streams.
 
     Returns
     -------
@@ -147,17 +153,26 @@ def generate_goal_driven(
     if unknown:
         raise ExplorationError(f"completed courses not in catalog: {sorted(unknown)}")
 
-    context = PruningContext(catalog=catalog, goal=goal, end_term=end_term, config=config)
+    if cache is not None:
+        goal = cache.wrap_goal(goal)
+    context = PruningContext(
+        catalog=catalog, goal=goal, end_term=end_term, config=config, cache=cache
+    )
     if pruners is None:
         pruners = default_pruners(context)
     time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
+    transpositions = (
+        cache.transposition_view(goal, end_term, config, pruners)
+        if cache is not None and pruners
+        else None
+    )
     if obs is None:
         obs = NULL_OBSERVABILITY
 
     stats = ExplorationStats()
     pruning_stats = PruningStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config, obs=obs)
+    expander = Expander(catalog, end_term, config, obs=obs, cache=cache)
     graph = LearningGraph(expander.initial_status(start_term, completed))
     stats.record_node()
 
@@ -194,17 +209,26 @@ def generate_goal_driven(
                 if recorder is not None:
                     recorder.record(_graph_decision(graph, node_id, "deadline"))
                 continue
-            if recorder is None:
+            if transpositions is not None:
+                with obs.phase("prune"):
+                    firing_name, verdict_dicts = transpositions.consult(
+                        pruners, status, obs, want_verdicts=recorder is not None
+                    )
+            elif recorder is None:
                 with obs.phase("prune"):
                     firing = first_firing_pruner(pruners, status, obs)
+                firing_name = firing.name if firing is not None else None
+                verdict_dicts = None
             else:
                 with obs.phase("prune"):
                     firing, verdicts = examine_pruners(pruners, status, obs)
-            if firing is not None:
+                firing_name = firing.name if firing is not None else None
+                verdict_dicts = tuple(v.as_dict() for v in verdicts)
+            if firing_name is not None:
                 graph.mark_terminal(node_id, "pruned")
                 stats.record_terminal("pruned")
-                stats.record_prune(firing.name)
-                pruning_stats.record(firing.name)
+                stats.record_prune(firing_name)
+                pruning_stats.record(firing_name)
                 if progress is not None:
                     progress.record_pruned(depth)
                 if recorder is not None:
@@ -213,8 +237,8 @@ def generate_goal_driven(
                             graph,
                             node_id,
                             "prune",
-                            strategy=firing.name,
-                            verdicts=tuple(v.as_dict() for v in verdicts),
+                            strategy=firing_name,
+                            verdicts=verdict_dicts,
                         )
                     )
                 continue

@@ -125,6 +125,7 @@ def generate_ranked(
     config: Optional[ExplorationConfig] = None,
     pruners: Optional[List[Pruner]] = None,
     obs: Optional[Observability] = None,
+    cache=None,
 ) -> RankedResult:
     """The top-``k`` goal paths under ``ranking``, best first.
 
@@ -143,6 +144,10 @@ def generate_ranked(
         Optional :class:`~repro.obs.runtime.Observability`; when enabled,
         the run emits a ``run:ranked`` span whose ``rank`` phases cover
         edge-cost and admissible-bound evaluation.
+    cache:
+        Optional :class:`~repro.cache.ExplorationCache`; memoizes goal
+        queries (including the rankings' ``remaining_cost_bound`` flow
+        solves), option sets, and pruning verdicts.  Output-identical.
 
     Returns
     -------
@@ -164,17 +169,26 @@ def generate_ranked(
     if unknown:
         raise ExplorationError(f"completed courses not in catalog: {sorted(unknown)}")
 
-    context = PruningContext(catalog=catalog, goal=goal, end_term=end_term, config=config)
+    if cache is not None:
+        goal = cache.wrap_goal(goal)
+    context = PruningContext(
+        catalog=catalog, goal=goal, end_term=end_term, config=config, cache=cache
+    )
     if pruners is None:
         pruners = default_pruners(context)
     time_pruner = next((p for p in pruners if isinstance(p, TimeBasedPruner)), None)
+    transpositions = (
+        cache.transposition_view(goal, end_term, config, pruners)
+        if cache is not None and pruners
+        else None
+    )
 
     if obs is None:
         obs = NULL_OBSERVABILITY
     stats = ExplorationStats()
     pruning_stats = PruningStats()
     stats.start_timer()
-    expander = Expander(catalog, end_term, config, obs=obs)
+    expander = Expander(catalog, end_term, config, obs=obs, cache=cache)
 
     recorder = obs.decisions
     progress = obs.progress
@@ -235,24 +249,33 @@ def generate_ranked(
                 if recorder is not None:
                     recorder.record(node.decision("deadline"))
                 continue
-            if recorder is None:
+            if transpositions is not None:
+                with obs.phase("prune"):
+                    firing_name, verdict_dicts = transpositions.consult(
+                        pruners, status, obs, want_verdicts=recorder is not None
+                    )
+            elif recorder is None:
                 with obs.phase("prune"):
                     firing = first_firing_pruner(pruners, status, obs)
+                firing_name = firing.name if firing is not None else None
+                verdict_dicts = None
             else:
                 with obs.phase("prune"):
                     firing, verdicts = examine_pruners(pruners, status, obs)
-            if firing is not None:
+                firing_name = firing.name if firing is not None else None
+                verdict_dicts = tuple(v.as_dict() for v in verdicts)
+            if firing_name is not None:
                 stats.record_terminal("pruned")
-                stats.record_prune(firing.name)
-                pruning_stats.record(firing.name)
+                stats.record_prune(firing_name)
+                pruning_stats.record(firing_name)
                 if progress is not None:
                     progress.record_pruned(node.depth)
                 if recorder is not None:
                     recorder.record(
                         node.decision(
                             "prune",
-                            strategy=firing.name,
-                            verdicts=tuple(v.as_dict() for v in verdicts),
+                            strategy=firing_name,
+                            verdicts=verdict_dicts,
                         )
                     )
                 continue

@@ -46,6 +46,7 @@ from ..obs import (
     ProgressTracker,
     Tracer,
 )
+from ..cache import ExplorationCache
 from ..parsing import load_catalog
 from ..requirements import CourseSetGoal, Goal
 from ..semester import Term
@@ -127,6 +128,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="MB",
         help="abort the run when process memory exceeds this many MiB",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoize flow/option-set/pruning computations during the run "
+        "(output-identical; --no-cache runs the bare engine)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the flow memo under DIR (keyed by catalog content "
+        "fingerprint, so catalog edits cold-start automatically); later "
+        "runs against the same catalog warm-start from it",
     )
 
 
@@ -286,6 +302,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_cache(args: argparse.Namespace, catalog) -> Optional[ExplorationCache]:
+    """The run's :class:`~repro.cache.ExplorationCache` (``None`` when off).
+
+    Kept on ``args._cache`` so :func:`main`'s cleanup can save the
+    persistent store and report hit rates after the command finishes.
+    """
+    if not getattr(args, "cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        cache = ExplorationCache.with_store(catalog, cache_dir)
+    else:
+        cache = ExplorationCache()
+    args._cache = cache
+    return cache
+
+
 def _load(args: argparse.Namespace) -> CourseNavigator:
     tracer = getattr(args, "_tracer", None)
     metrics = getattr(args, "_metrics", None)
@@ -301,15 +334,18 @@ def _load(args: argparse.Namespace) -> CourseNavigator:
             decisions=decisions,
             progress=progress,
             budget=budget,
+            cache=_make_cache(args, catalog),
         )
+    catalog = brandeis_catalog()
     return CourseNavigator(
-        brandeis_catalog(),
+        catalog,
         offering_model=brandeis_offering_model(),
         tracer=tracer,
         metrics=metrics,
         decisions=decisions,
         progress=progress,
         budget=budget,
+        cache=_make_cache(args, catalog),
     )
 
 
@@ -599,6 +635,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _run_export,
         "lint": _run_lint,
     }
+    args._cache = None  # populated by _load when --cache is on
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     explain_path = getattr(args, "explain", None)
@@ -669,6 +706,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args._tracer is not None:
             args._tracer.close()
             print(f"trace written to {trace_path}", file=sys.stderr)
+        if args._cache is not None:
+            if args._metrics is not None:
+                # Bound late so counters cover the whole run even when the
+                # registry exists only for --metrics-out.
+                args._cache.bind_metrics(args._metrics)
+            if getattr(args, "cache_dir", None):
+                saved = args._cache.save()
+                print(
+                    f"cache: {args._cache.describe_line()}; "
+                    f"{saved} flow entries saved to {args._cache.store.path}",
+                    file=sys.stderr,
+                )
         if args._metrics is not None:
             if args._progress is not None:
                 args._progress.publish_gauges(args._metrics)

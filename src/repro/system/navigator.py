@@ -41,6 +41,7 @@ from ..core import (
 )
 from ..core.pruning import Pruner
 from ..analysis import check_containment, ContainmentReport, is_generated_goal_path
+from ..cache import ExplorationCache
 from ..errors import ExplorationError
 from ..graph.path import LearningPath
 from ..obs import (
@@ -91,6 +92,13 @@ class CourseNavigator:
         and dies with :class:`~repro.errors.BudgetExceededError` (carrying
         the final progress snapshot) when a wall/node/memory limit is hit
         or another thread cancels it.
+    cache:
+        Optional :class:`~repro.cache.ExplorationCache`.  Every run this
+        navigator performs shares it, so repeated queries over the one
+        catalog reuse flow results, option sets and pruning verdicts —
+        with identical outputs (the cache only replays pure functions).
+        When a ``metrics`` registry is also given, cache hit/miss/eviction
+        counters are emitted into it.
 
     With none of the observability arguments, runs are completely
     uninstrumented (the engine's no-op fast path).
@@ -106,9 +114,13 @@ class CourseNavigator:
         decisions: Optional[DecisionRecorder] = None,
         progress: Optional[ProgressTracker] = None,
         budget: Optional[ExplorationBudget] = None,
+        cache: Optional[ExplorationCache] = None,
     ):
         self._catalog = catalog
         self._offering_model = offering_model or catalog.offering_model
+        self._cache = cache
+        if cache is not None and metrics is not None:
+            cache.bind_metrics(metrics)
         if (
             tracer is None
             and metrics is None
@@ -142,6 +154,11 @@ class CourseNavigator:
     def observability(self) -> Optional[Observability]:
         """The observability bundle runs report into (``None`` when off)."""
         return self._obs
+
+    @property
+    def cache(self) -> Optional[ExplorationCache]:
+        """The exploration cache shared by this navigator's runs."""
+        return self._cache
 
     # -- configuration helpers ------------------------------------------------
 
@@ -199,6 +216,7 @@ class CourseNavigator:
             completed=completed,
             config=self._config(config, max_courses_per_term, avoid_courses, max_nodes),
             obs=self._obs,
+            cache=self._cache,
         )
 
     def explore_goal(
@@ -223,6 +241,7 @@ class CourseNavigator:
             config=self._config(config, max_courses_per_term, avoid_courses, max_nodes),
             pruners=pruners,
             obs=self._obs,
+            cache=self._cache,
         )
 
     def explore_ranked(
@@ -249,6 +268,7 @@ class CourseNavigator:
             completed=completed,
             config=self._config(config, max_courses_per_term, avoid_courses, max_nodes),
             obs=self._obs,
+            cache=self._cache,
         )
 
     # -- counting mode ---------------------------------------------------------------
@@ -262,7 +282,12 @@ class CourseNavigator:
     ) -> int:
         """Exact deadline-driven path count via the merged DAG."""
         return count_deadline_paths(
-            self._catalog, start_term, end_term, completed=completed, config=config
+            self._catalog,
+            start_term,
+            end_term,
+            completed=completed,
+            config=config,
+            cache=self._cache,
         )
 
     def count_goal(
@@ -275,7 +300,13 @@ class CourseNavigator:
     ) -> int:
         """Exact goal-driven path count via the merged DAG."""
         return count_goal_paths(
-            self._catalog, start_term, goal, end_term, completed=completed, config=config
+            self._catalog,
+            start_term,
+            goal,
+            end_term,
+            completed=completed,
+            config=config,
+            cache=self._cache,
         )
 
     # -- transcript auditing ------------------------------------------------------------
