@@ -1,0 +1,216 @@
+"""Serial vs process-sharded A/B benchmark → ``BENCH_parallel.json``.
+
+Runs a goal-driven workload (the Brandeis catalog with a three-course
+goal by default; ``--random`` swaps in a larger generated catalog) three
+ways:
+
+* ``serial`` — the unmodified serial generator;
+* ``workers2`` — the sharded engine with a 2-process pool;
+* ``workers4`` — the same with 4 processes.
+
+Repeats are interleaved (round-robin) so thermal drift spreads evenly,
+and every round asserts the equivalence contract: identical path counts,
+node counts, and prune totals across all variants — parallelism must buy
+time, never answers.
+
+.. code-block:: console
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --repeats 5 --split-depth 2
+
+Budget: the 4-worker speedup must be at least 1.5× — but only on hosts
+that can actually run shards concurrently (``cpu_count >= 4``).  On
+smaller machines the document records ``budget_enforced: false`` and the
+measured numbers stand as an honest record of the pool's overhead; the
+exit code stays 0 so CI on small runners does not flap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import ExplorationConfig, generate_goal_driven
+from repro.data import GeneratorSettings, brandeis_catalog, random_catalog
+from repro.parallel import parallel_goal_driven
+from repro.requirements import CourseSetGoal
+from repro.semester import Term
+
+__all__ = ["run_benchmark", "main"]
+
+DEFAULT_REPEATS = 3
+DEFAULT_OUTPUT = "BENCH_parallel.json"
+SPEEDUP_BUDGET = 1.5
+#: The budget only binds where 4 shards can actually run at once.
+BUDGET_MIN_CPUS = 4
+VARIANTS = ("serial", "workers2", "workers4")
+WORKER_COUNTS = {"serial": None, "workers2": 2, "workers4": 4}
+
+
+def _workload(use_random: bool):
+    if use_random:
+        # ~460k nodes / ~90k paths: an order of magnitude past Brandeis.
+        settings = GeneratorSettings(n_courses=20, n_terms=4, layers=4)
+        catalog = random_catalog(7, settings)
+        goal = CourseSetGoal(sorted(catalog.course_ids())[:3])
+        start = settings.start_term
+        end = start + (settings.n_terms - 1)
+        name = "random(seed=7, n_courses=20, n_terms=4)"
+    else:
+        catalog = brandeis_catalog()
+        goal = CourseSetGoal({"COSI 11a", "COSI 21a", "COSI 29a"})
+        start, end = Term(2013, "Fall"), Term(2015, "Fall")
+        name = "brandeis"
+    return catalog, goal, start, end, name
+
+
+def _timed_run(
+    catalog, goal, start, end, config, workers: Optional[int], split_depth: Optional[int]
+) -> Tuple[float, object]:
+    begin = time.perf_counter()
+    if workers is None:
+        result = generate_goal_driven(catalog, start, goal, end, config=config)
+    else:
+        result = parallel_goal_driven(
+            catalog, start, goal, end, config=config,
+            workers=workers, split_depth=split_depth,
+        )
+    return time.perf_counter() - begin, result
+
+
+def run_benchmark(
+    repeats: int = DEFAULT_REPEATS,
+    split_depth: Optional[int] = None,
+    use_random: bool = False,
+) -> Dict[str, object]:
+    """The interleaved serial-vs-sharded A/B: the ``BENCH_parallel.json`` doc."""
+    catalog, goal, start, end, workload_name = _workload(use_random)
+    config = ExplorationConfig(max_courses_per_term=3)
+    host_cpus = os.cpu_count() or 1
+
+    times: Dict[str, List[float]] = {name: [] for name in VARIANTS}
+    signatures: Dict[str, Tuple[int, int, int]] = {}
+
+    for _ in range(repeats):
+        for name in VARIANTS:
+            elapsed, result = _timed_run(
+                catalog, goal, start, end, config, WORKER_COUNTS[name], split_depth
+            )
+            times[name].append(elapsed)
+            signature = (
+                result.path_count,
+                result.graph.num_nodes,
+                result.pruning_stats.total,
+            )
+            previous = signatures.setdefault(name, signature)
+            if previous != signature:
+                raise AssertionError(f"{name} output drifted: {previous} != {signature}")
+
+    if len(set(signatures.values())) != 1:
+        raise AssertionError(f"variants disagree on output: {signatures}")
+
+    variants: Dict[str, Dict[str, object]] = {}
+    for name in VARIANTS:
+        variants[name] = {
+            "wall_seconds_best": min(times[name]),
+            "wall_seconds_mean": statistics.mean(times[name]),
+            "repeats": repeats,
+            "workers": WORKER_COUNTS[name] or 0,
+            "paths": signatures[name][0],
+        }
+
+    serial_best = variants["serial"]["wall_seconds_best"]
+    budget_enforced = host_cpus >= BUDGET_MIN_CPUS
+    return {
+        "benchmark": "parallel_sharding",
+        "workload": {
+            "catalog": workload_name,
+            "goal": goal.describe(),
+            "start": str(start),
+            "end": str(end),
+            "max_courses_per_term": 3,
+            "split_depth": split_depth,
+        },
+        "unix_time": time.time(),
+        "python": sys.version.split()[0],
+        "host_cpus": host_cpus,
+        "interleaved": True,
+        "variants": variants,
+        "speedup": {
+            "workers2_vs_serial": round(
+                serial_best / variants["workers2"]["wall_seconds_best"], 3
+            ),
+            "workers4_vs_serial": round(
+                serial_best / variants["workers4"]["wall_seconds_best"], 3
+            ),
+        },
+        "speedup_budget": SPEEDUP_BUDGET,
+        "budget_enforced": budget_enforced,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure process-sharded exploration speedup vs serial"
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON snapshot (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help=f"interleaved rounds; best-of is reported (default {DEFAULT_REPEATS})",
+    )
+    parser.add_argument(
+        "--split-depth", type=int, default=None,
+        help="frontier depth to shard at (default: engine auto)",
+    )
+    parser.add_argument(
+        "--random", action="store_true",
+        help="use the larger generated catalog instead of Brandeis",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_benchmark(
+        repeats=args.repeats, split_depth=args.split_depth, use_random=args.random
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    variants = document["variants"]
+    speedup = document["speedup"]
+    print(f"wrote {args.output}")
+    for name in VARIANTS:
+        row = variants[name]
+        print(
+            f"  {name:9} best {row['wall_seconds_best']*1000:8.1f} ms  "
+            f"mean {row['wall_seconds_mean']*1000:8.1f} ms  "
+            f"({row['paths']} paths)"
+        )
+    print(
+        f"  speedup: 2 workers {speedup['workers2_vs_serial']:.2f}x, "
+        f"4 workers {speedup['workers4_vs_serial']:.2f}x "
+        f"(budget ≥ {document['speedup_budget']:.1f}x at 4 workers, "
+        f"host has {document['host_cpus']} cpu(s))"
+    )
+    if not document["budget_enforced"]:
+        print(
+            f"  NOTE: budget not enforced — fewer than {BUDGET_MIN_CPUS} CPUs, "
+            "shards cannot run concurrently here",
+            file=sys.stderr,
+        )
+        return 0
+    if speedup["workers4_vs_serial"] < document["speedup_budget"]:
+        print("  WARNING: 4-worker speedup below budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

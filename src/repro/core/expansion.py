@@ -108,6 +108,30 @@ class Expander:
             term=term, completed=completed, options=self.options(completed, term)
         )
 
+    def bare_status(
+        self, term: Term, completed: AbstractSet[str] = frozenset()
+    ) -> EnrollmentStatus:
+        """A status *without* its option set derived.
+
+        Deriving ``Y`` is the expander's single most expensive step, and a
+        status that is about to terminate (goal satisfied, deadline
+        reached, pruned by a bound that only reads ``(s, X)``) never looks
+        at it.  Callers on that fast path build a bare status here and
+        upgrade survivors with :meth:`attach_options` only when expansion
+        is actually imminent.  Status equality/hashing ignores options, so
+        a bare status is interchangeable with the full one for lookups.
+        """
+        return EnrollmentStatus(term=term, completed=frozenset(completed))
+
+    def attach_options(self, status: EnrollmentStatus) -> EnrollmentStatus:
+        """``status`` with its option set ``Y`` derived (see
+        :meth:`bare_status`)."""
+        return EnrollmentStatus(
+            term=status.term,
+            completed=status.completed,
+            options=self.options(status.completed, status.term),
+        )
+
     # -- the expansion step ----------------------------------------------------
 
     def successors(

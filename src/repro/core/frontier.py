@@ -40,6 +40,7 @@ from .config import ExplorationConfig
 from .expansion import Expander
 from .goal_driven import _selection_floor
 from .pruning import (
+    AvailabilityPruner,
     Pruner,
     PruningContext,
     PruningStats,
@@ -69,6 +70,11 @@ class FrontierCount:
     #: would have built.  ``explored_path_count`` (everything except
     #: ``pruned``) is Table 1's "# of paths" column.
     terminal_path_counts: Dict[str, int] = field(default_factory=dict)
+    #: When the run was cut short by ``stop_after_layers``, the unprocessed
+    #: frontier layer (completed-set → multiplicity) at the stopping term.
+    #: ``None`` when the DP ran to natural completion.  ``repro.parallel``
+    #: partitions this layer across worker processes.
+    remaining_frontier: Optional[Dict[FrozenSet[str], int]] = None
 
     @property
     def explored_path_count(self) -> int:
@@ -103,6 +109,8 @@ def _run_frontier(
     max_frontier: Optional[int],
     obs: Observability,
     cache=None,
+    initial_frontier: Optional[Dict[FrozenSet[str], int]] = None,
+    stop_after_layers: Optional[int] = None,
 ) -> FrontierCount:
     watch = Stopwatch()
     watch.start()
@@ -113,12 +121,23 @@ def _run_frontier(
         else None
     )
     pruning_stats = PruningStats()
+    # The built-in bounds only read (term, completed), so option sets need
+    # deriving only for states that survive to expansion; a third-party
+    # pruner may inspect status.options, so its presence keeps the eager
+    # derivation order.
+    lazy_options = all(
+        isinstance(p, (TimeBasedPruner, AvailabilityPruner)) for p in pruners
+    )
 
-    frontier: Dict[FrozenSet[str], int] = {frozenset(completed): 1}
+    if initial_frontier is not None:
+        frontier: Dict[FrozenSet[str], int] = dict(initial_frontier)
+    else:
+        frontier = {frozenset(completed): 1}
     term = start_term
-    peak = 1
-    total_states = 1
-    widths = [1]
+    peak = len(frontier)
+    total_states = len(frontier)
+    widths = [len(frontier)]
+    stopped_early = False
     terminal_counts: Dict[str, int] = {}
     instrumented = obs.enabled
     recorder = obs.decisions
@@ -154,14 +173,23 @@ def _run_frontier(
 
     with obs.run(run_name, start=str(start_term), end=str(end_term)):
         while frontier and term <= end_term:
+            if (
+                stop_after_layers is not None
+                and int(term - start_term) >= stop_after_layers
+            ):
+                stopped_early = True
+                break
             next_frontier: Dict[FrozenSet[str], int] = {}
             depth = int(term - start_term) if progress is not None else 0
             for state, multiplicity in frontier.items():
                 if budget is not None:
                     budget.tick(None, progress)
-                status = EnrollmentStatus(
-                    term=term, completed=state, options=expander.options(state, term)
-                )
+                if lazy_options:
+                    status = expander.bare_status(term, state)
+                else:
+                    status = EnrollmentStatus(
+                        term=term, completed=state, options=expander.options(state, term)
+                    )
                 if goal is not None and goal.is_satisfied(state):
                     _terminate("goal", multiplicity)
                     if progress is not None:
@@ -207,6 +235,10 @@ def _run_frontier(
                                 verdicts=verdict_dicts,
                             )
                         continue
+                    if lazy_options:
+                        # Survived every terminal check: expansion is next,
+                        # so the option set is finally needed.
+                        status = expander.attach_options(status)
                     floor = _selection_floor(time_pruner, config, status)
                     suppressed = suppressed_selection_count(len(status.options), floor)
                     if suppressed:
@@ -225,6 +257,8 @@ def _run_frontier(
                             )
                 else:
                     floor = 0
+                    if lazy_options:
+                        status = expander.attach_options(status)
                 if instrumented:
                     # Split successor generation from layer merging so the
                     # two phases are visible separately in the breakdown.
@@ -288,6 +322,7 @@ def _run_frontier(
         pruning_stats=pruning_stats if goal is not None else None,
         layer_widths=widths,
         terminal_path_counts=terminal_counts,
+        remaining_frontier=dict(frontier) if stopped_early else None,
     )
 
 

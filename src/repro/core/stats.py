@@ -6,31 +6,99 @@ time.  The evaluation section's tables are assembled from these counters
 (Table 1's pruned-path percentages, §5.2's 82%/18% time-vs-availability
 split), so they are part of the public result API rather than debug-only
 instrumentation.
+
+The class is a hand-rolled ``__slots__`` holder rather than a dataclass:
+one is allocated per run *and per shard* under ``repro.parallel``, the
+budget ticker reads ``nodes_created`` on the hot path, and slotted
+instances pickle cheaply when worker processes return their counters.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 __all__ = ["ExplorationStats"]
 
 
-@dataclass
 class ExplorationStats:
     """Mutable counters for one generation run."""
 
-    nodes_created: int = 0
-    edges_created: int = 0
-    terminals: Dict[str, int] = field(default_factory=dict)
-    prune_events: Dict[str, int] = field(default_factory=dict)
-    merged_hits: int = 0
-    elapsed_seconds: float = 0.0
-    # None = not currently timing.  A sentinel rather than 0.0: perf_counter
-    # may legitimately return 0.0 at its epoch, which must still count as
-    # "started".
-    _started_at: Optional[float] = field(default=None, repr=False)
+    __slots__ = (
+        "nodes_created",
+        "edges_created",
+        "terminals",
+        "prune_events",
+        "merged_hits",
+        "elapsed_seconds",
+        "_started_at",
+    )
+
+    def __init__(
+        self,
+        nodes_created: int = 0,
+        edges_created: int = 0,
+        terminals: Optional[Dict[str, int]] = None,
+        prune_events: Optional[Dict[str, int]] = None,
+        merged_hits: int = 0,
+        elapsed_seconds: float = 0.0,
+    ):
+        self.nodes_created = nodes_created
+        self.edges_created = edges_created
+        self.terminals: Dict[str, int] = dict(terminals) if terminals else {}
+        self.prune_events: Dict[str, int] = dict(prune_events) if prune_events else {}
+        self.merged_hits = merged_hits
+        self.elapsed_seconds = elapsed_seconds
+        # None = not currently timing.  A sentinel rather than 0.0:
+        # perf_counter may legitimately return 0.0 at its epoch, which must
+        # still count as "started".
+        self._started_at: Optional[float] = None
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is self.__class__:
+            return (
+                self.nodes_created,
+                self.edges_created,
+                self.terminals,
+                self.prune_events,
+                self.merged_hits,
+                self.elapsed_seconds,
+            ) == (
+                other.nodes_created,
+                other.edges_created,
+                other.terminals,
+                other.prune_events,
+                other.merged_hits,
+                other.elapsed_seconds,
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable, like the dataclass it replaced
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationStats(nodes_created={self.nodes_created!r}, "
+            f"edges_created={self.edges_created!r}, "
+            f"terminals={self.terminals!r}, "
+            f"prune_events={self.prune_events!r}, "
+            f"merged_hits={self.merged_hits!r}, "
+            f"elapsed_seconds={self.elapsed_seconds!r})"
+        )
+
+    def __reduce__(self):
+        # A running timer is process-local state; shard results are pickled
+        # only after stop_timer(), so rebuilding through __init__ is exact.
+        return (
+            self.__class__,
+            (
+                self.nodes_created,
+                self.edges_created,
+                self.terminals,
+                self.prune_events,
+                self.merged_hits,
+                self.elapsed_seconds,
+            ),
+        )
 
     # -- recording -----------------------------------------------------------
 
@@ -77,7 +145,8 @@ class ExplorationStats:
 
         Sums every counter, unions the terminal/prune tallies, and adds
         elapsed time — the aggregation multi-run benchmarks need when
-        reporting totals over several horizons or repeats.
+        reporting totals over several horizons or repeats, and the merge
+        step ``repro.parallel`` applies to every shard's counters.
         """
         self.nodes_created += other.nodes_created
         self.edges_created += other.edges_created

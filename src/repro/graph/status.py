@@ -6,11 +6,17 @@ when their semester and completed set coincide — ``Y`` is a function of
 those two given a fixed catalog/schedule — so equality and hashing ignore
 ``options``.  That identification is what lets
 :class:`~repro.graph.dag.MergedStatusDag` collapse the paper's out-tree.
+
+Statuses are the single most-allocated object in the engine (one per tree
+node, one per frontier state per layer), so the class is a hand-rolled
+``__slots__`` immutable rather than a dataclass: no per-instance
+``__dict__``, and the same frozen semantics on every supported Python
+(``@dataclass(slots=True)`` only exists from 3.10).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import FrozenInstanceError
 from typing import FrozenSet, Tuple
 
 from ..semester import Term
@@ -18,7 +24,6 @@ from ..semester import Term
 __all__ = ["EnrollmentStatus"]
 
 
-@dataclass(frozen=True)
 class EnrollmentStatus:
     """A student's state at the start of one semester.
 
@@ -34,20 +39,56 @@ class EnrollmentStatus:
         excluded from equality and hashing.
     """
 
-    term: Term
-    completed: FrozenSet[str]
-    options: FrozenSet[str] = field(default=frozenset(), compare=False)
+    __slots__ = ("term", "completed", "options")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.completed, frozenset):
-            object.__setattr__(self, "completed", frozenset(self.completed))
-        if not isinstance(self.options, frozenset):
-            object.__setattr__(self, "options", frozenset(self.options))
-        overlap = self.completed & self.options
+    def __init__(
+        self,
+        term: Term,
+        completed: FrozenSet[str],
+        options: FrozenSet[str] = frozenset(),
+    ):
+        if not isinstance(completed, frozenset):
+            completed = frozenset(completed)
+        if not isinstance(options, frozenset):
+            options = frozenset(options)
+        overlap = completed & options
         if overlap:
             raise ValueError(
                 f"options may not include completed courses: {sorted(overlap)}"
             )
+        object.__setattr__(self, "term", term)
+        object.__setattr__(self, "completed", completed)
+        object.__setattr__(self, "options", options)
+
+    # -- frozen semantics ----------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise FrozenInstanceError(f"cannot delete field {name!r}")
+
+    def __reduce__(self):
+        # __setattr__ is blocked, so pickling goes back through __init__
+        # (this is also what lets statuses cross process boundaries when
+        # shard results return from repro.parallel workers).
+        return (self.__class__, (self.term, self.completed, self.options))
+
+    # -- identity (term, completed) — options are derived --------------------
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is self.__class__:
+            return (self.term, self.completed) == (other.term, other.completed)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.term, self.completed))
+
+    def __repr__(self) -> str:
+        return (
+            f"EnrollmentStatus(term={self.term!r}, "
+            f"completed={self.completed!r}, options={self.options!r})"
+        )
 
     @property
     def key(self) -> Tuple[Term, FrozenSet[str]]:

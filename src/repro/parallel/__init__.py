@@ -1,0 +1,29 @@
+"""Process-sharded parallel exploration (``repro.parallel``).
+
+Public surface: one ``parallel_*`` twin per serial entry point, plus the
+worker-count resolver the CLI uses for ``--workers 0`` (auto).  The tree
+modes are output-identical to their serial twins; ranked and frontier
+counting match on the quantities that define their results (costs and
+path sets; path counts and terminal tallies).  ``docs/parallel.md``
+documents the sharding scheme and the equivalence argument.
+"""
+
+from .engine import (
+    parallel_count_deadline_paths,
+    parallel_count_goal_paths,
+    parallel_deadline_driven,
+    parallel_goal_driven,
+    parallel_ranked,
+    resolve_workers,
+)
+from .plan import resolve_split_depth
+
+__all__ = [
+    "parallel_count_deadline_paths",
+    "parallel_count_goal_paths",
+    "parallel_deadline_driven",
+    "parallel_goal_driven",
+    "parallel_ranked",
+    "resolve_split_depth",
+    "resolve_workers",
+]

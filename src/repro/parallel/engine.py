@@ -1,0 +1,810 @@
+"""The process-sharded exploration engine.
+
+Strategy (see ``docs/parallel.md`` for the full argument): run the first
+``split_depth`` levels serially in-process, ship every surviving node at
+the split depth to a :class:`concurrent.futures.ProcessPoolExecutor`
+worker that runs the *unmodified* serial generator on its subtree, then
+merge deterministically — subtrees grafted in seed order, node ids
+renumbered by replaying the serial LIFO discipline, stats and pruning
+counters folded with the same ``merge`` used everywhere else.  For the
+tree modes the output (paths, counts, prune statistics, ``--explain``
+event streams) is byte-identical to the serial run; the only permitted
+difference is ``stats.elapsed_seconds``, which reports the parallel
+run's wall time.
+
+Known deviations, by design:
+
+* Budget ticks happen once per prefix node and once per completed shard
+  (workers enforce ``config.max_nodes`` on their own subtrees; the
+  parent re-checks the merged total), so an over-budget run aborts at a
+  slightly different moment than serial — but succeeds/fails on the
+  same queries in the tree modes.
+* Ranked mode enumerates the shallow prefix exhaustively (serial
+  best-first can stop early), so its *stats* are approximate and a
+  ``max_nodes`` budget binds per shard rather than globally; the
+  returned costs are identical and the path list matches serial up to
+  equal-cost tie order.
+* Frontier counting reports exact path counts and terminal tallies;
+  layer widths / peak / total states are upper bounds because shards
+  cannot merge duplicate states across chunks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import AbstractSet, Any, Dict, List, Optional, Sequence
+
+from ..cache.memos import CachedGoal
+from ..catalog import Catalog
+from ..errors import ExplorationError
+from ..graph.path import LearningPath
+from ..obs.live import budget_exceeded
+from ..obs.runtime import NULL_OBSERVABILITY, Observability
+from ..requirements import Goal
+from ..semester import Term
+from ..core.config import ExplorationConfig
+from ..core.deadline import DeadlineResult
+from ..core.frontier import FrontierCount, _run_frontier
+from ..core.goal_driven import GoalDrivenResult
+from ..core.pruning import PruningContext, TimeBasedPruner, default_pruners
+from ..core.ranked import RankedResult
+from ..core.ranking import RankingFunction
+from .merge import merge_tree_results
+from .plan import (
+    partition_frontier,
+    resolve_split_depth,
+    walk_ranked_prefix,
+    walk_tree_prefix,
+)
+from .worker import ShardContext, _initialize_worker, _run_shard, execute_shard
+
+__all__ = [
+    "parallel_count_deadline_paths",
+    "parallel_count_goal_paths",
+    "parallel_deadline_driven",
+    "parallel_goal_driven",
+    "parallel_ranked",
+    "resolve_workers",
+]
+
+#: Cap on the flow-memo entries shipped to each worker's warm start.
+FLOW_SNAPSHOT_LIMIT = 4096
+
+#: Auto worker count is capped here: exploration shards are CPU-bound and
+#: the merge is serial, so very wide pools only add pickling overhead.
+AUTO_WORKER_CAP = 4
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request (``0``/``None`` = auto)."""
+    if workers is None:
+        workers = 0
+    workers = int(workers)
+    if workers < 0:
+        raise ExplorationError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return max(1, min(AUTO_WORKER_CAP, os.cpu_count() or 1))
+    return workers
+
+
+def _check_inputs(catalog: Catalog, start_term: Term, end_term: Term, completed) -> None:
+    if end_term < start_term:
+        raise ExplorationError(f"end term {end_term} precedes start term {start_term}")
+    unknown = frozenset(completed) - catalog.course_ids()
+    if unknown:
+        raise ExplorationError(f"completed courses not in catalog: {sorted(unknown)}")
+
+
+def _resolve_goal_setup(catalog, goal, end_term, config, pruners, cache):
+    """Prefix-side goal/pruner plumbing plus the worker-shippable forms.
+
+    Returns ``(ship_goal, run_goal, prefix_pruners, pruner_classes,
+    time_pruner, transpositions)``: the unwrapped goal for pickling, the
+    (possibly cache-wrapped) goal the prefix runs with, the instantiated
+    pruner stack, and the class tuple workers rebuild it from.
+    """
+    ship_goal = goal.inner if isinstance(goal, CachedGoal) else goal
+    run_goal = cache.wrap_goal(goal) if cache is not None else goal
+    if pruners is None:
+        context = PruningContext(
+            catalog=catalog, goal=run_goal, end_term=end_term, config=config, cache=cache
+        )
+        prefix_pruners = default_pruners(context)
+        pruner_classes: Optional[tuple] = None
+    elif not pruners:
+        prefix_pruners = []
+        pruner_classes = ()
+    else:
+        prefix_pruners = list(pruners)
+        pruner_classes = tuple(type(p) for p in prefix_pruners)
+    time_pruner = next(
+        (p for p in prefix_pruners if isinstance(p, TimeBasedPruner)), None
+    )
+    transpositions = (
+        cache.transposition_view(run_goal, end_term, config, prefix_pruners)
+        if cache is not None and prefix_pruners
+        else None
+    )
+    return ship_goal, run_goal, prefix_pruners, pruner_classes, time_pruner, transpositions
+
+
+def _run_shards(
+    context: ShardContext,
+    tasks: Sequence[tuple],
+    workers: int,
+    on_result,
+) -> List[Optional[Dict[str, Any]]]:
+    """Execute shards (inline or pooled) and fold results as they finish.
+
+    ``on_result`` sees payloads in *completion* order — it must only do
+    commutative folding (stats sums, budget ticks, metrics).  The
+    returned list is indexed by shard id, which is what order-sensitive
+    merging keys on.  The pool is always shut down with
+    ``cancel_futures=True`` so a budget abort raised by ``on_result``
+    leaves no worker running.
+    """
+    results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    if not tasks:
+        return results
+    if workers <= 1 or len(tasks) == 1:
+        for task in tasks:
+            payload = execute_shard(context, task)
+            results[task[0]] = payload
+            on_result(payload)
+        return results
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        mp_context = None
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        mp_context=mp_context,
+        initializer=_initialize_worker,
+        initargs=(context,),
+    )
+    try:
+        futures = {executor.submit(_run_shard, task): task[0] for task in tasks}
+        for future in as_completed(futures):
+            payload = future.result()
+            results[futures[future]] = payload
+            on_result(payload)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    return results
+
+
+def _absorb_shard_observability(obs, mode: str, split_depth: int, payload) -> None:
+    """Per-shard spans, ``repro_shard_*`` metrics, cache counters, progress."""
+    seconds = payload.get("seconds", 0.0)
+    stats = payload.get("stats")
+    metrics = obs.metrics
+    if metrics is not None:
+        metrics.counter("repro_shard_runs_total", "parallel shards completed").inc()
+        if stats is not None:
+            metrics.counter(
+                "repro_shard_nodes_total", "nodes explored inside parallel shards"
+            ).inc(stats.nodes_created)
+        metrics.counter(
+            "repro_shard_seconds_total", "wall seconds spent inside parallel shards"
+        ).inc(seconds)
+        counters = payload.get("cache_counters")
+        if counters:
+            for layer, counts in counters.items():
+                labels = {"layer": layer}
+                metrics.counter(
+                    "repro_cache_hits_total", "cache lookups served from memory", labels
+                ).inc(counts["hits"])
+                metrics.counter(
+                    "repro_cache_misses_total", "cache lookups that had to compute", labels
+                ).inc(counts["misses"])
+                metrics.counter(
+                    "repro_cache_evictions_total",
+                    "cache entries dropped by the LRU bound",
+                    labels,
+                ).inc(counts["evictions"])
+    if obs.tracer.enabled:
+        with obs.tracer.span(
+            "shard", shard=payload.get("shard"), seconds=round(seconds, 6)
+        ):
+            pass
+    progress = obs.progress
+    if progress is not None and stats is not None:
+        terminal_total = sum(stats.terminals.values())
+        if mode == "goal":
+            emitted = stats.terminals.get("goal", 0)
+        elif mode == "deadline":
+            emitted = stats.terminals.get("deadline", 0) + stats.terminals.get(
+                "dead_end", 0
+            )
+        else:  # ranked
+            emitted = len(payload.get("costs") or ())
+        progress.absorb_counts(
+            split_depth,
+            expanded=max(0, stats.nodes_created - terminal_total),
+            children=stats.edges_created,
+            pruned=stats.terminals.get("pruned", 0),
+            terminals={k: v for k, v in stats.terminals.items() if k != "pruned"},
+            emitted=emitted,
+        )
+
+
+def _fold_shard(
+    payload,
+    stats,
+    pruning_stats,
+    config,
+    obs,
+    mode: str,
+    split_depth: int,
+    enforce_total_nodes: bool,
+) -> None:
+    """Commutative per-shard folding (safe in completion order)."""
+    progress = obs.progress
+    budget = obs.budget
+    error = payload.get("error")
+    if error is not None:
+        raise budget_exceeded(
+            error["kind"], error["limit"], error["observed"],
+            stats=stats, progress=progress, budget=budget,
+        )
+    shard_stats = payload.get("stats")
+    if shard_stats is not None:
+        stats.merge(shard_stats)
+        # The seed status is counted twice: once by the prefix (as a
+        # created child) and once by the worker (as its root node).
+        stats.nodes_created -= 1
+        shard_pruning = payload.get("pruning_stats")
+        if shard_pruning is not None and pruning_stats is not None:
+            pruning_stats.merge(shard_pruning)
+    if budget is not None:
+        budget.tick(stats, progress)
+    if (
+        enforce_total_nodes
+        and config.max_nodes is not None
+        and stats.nodes_created > config.max_nodes
+    ):
+        # Tree-mode equivalence: the serial run succeeds iff the finished
+        # tree fits max_nodes, so re-checking the merged total preserves
+        # the success/failure outcome (only the abort timing differs).
+        raise budget_exceeded(
+            "nodes", config.max_nodes, stats.nodes_created,
+            stats=stats, progress=progress, budget=budget,
+        )
+    _absorb_shard_observability(obs, mode, split_depth, payload)
+
+
+# -- tree modes (goal-driven / deadline-driven) -------------------------------
+
+
+def _parallel_tree(
+    mode: str,
+    run_name: str,
+    catalog: Catalog,
+    start_term: Term,
+    goal: Optional[Goal],
+    end_term: Term,
+    completed: AbstractSet[str],
+    config: Optional[ExplorationConfig],
+    pruners,
+    obs: Optional[Observability],
+    cache,
+    workers: Optional[int],
+    split_depth: Optional[int],
+):
+    config = config or ExplorationConfig()
+    workers = resolve_workers(workers)
+    _check_inputs(catalog, start_term, end_term, completed)
+    horizon = int(end_term - start_term)
+    split = resolve_split_depth(split_depth, horizon)
+    wall_started = time.perf_counter()
+
+    ship_goal = run_goal = None
+    prefix_pruners: List = []
+    pruner_classes: Optional[tuple] = ()
+    time_pruner = None
+    transpositions = None
+    if mode == "goal":
+        (
+            ship_goal,
+            run_goal,
+            prefix_pruners,
+            pruner_classes,
+            time_pruner,
+            transpositions,
+        ) = _resolve_goal_setup(catalog, goal, end_term, config, pruners, cache)
+
+    if obs is None:
+        obs = NULL_OBSERVABILITY
+    recorder = obs.decisions if mode == "goal" else None
+    progress = obs.progress
+    budget = obs.budget
+    if progress is not None:
+        progress.begin_run(run_name, horizon=horizon)
+    if budget is not None:
+        budget.arm()
+
+    with obs.run(
+        run_name,
+        start=str(start_term),
+        end=str(end_term),
+        workers=workers,
+        split_depth=split,
+    ):
+        plan = walk_tree_prefix(
+            mode,
+            catalog,
+            start_term,
+            run_goal,
+            end_term,
+            completed,
+            config,
+            prefix_pruners,
+            time_pruner,
+            transpositions,
+            split,
+            obs,
+            cache,
+            collect_events=recorder is not None,
+        )
+        tasks = []
+        for index, seed_id in enumerate(plan.seed_ids):
+            seed_status = plan.graph.status(seed_id)
+            tasks.append((index, seed_status.term, seed_status.completed))
+        context = ShardContext(
+            mode=mode,
+            catalog=catalog,
+            goal=ship_goal,
+            start_term=start_term,
+            end_term=end_term,
+            config=config,
+            pruner_classes=pruner_classes,
+            want_events=recorder is not None,
+            flow_entries=(
+                cache.flow_snapshot(FLOW_SNAPSHOT_LIMIT)
+                if cache is not None and mode == "goal"
+                else None
+            ),
+            use_cache=cache is not None,
+        )
+
+        def on_result(payload):
+            _fold_shard(
+                payload, plan.stats, plan.pruning_stats, config, obs,
+                mode, split, enforce_total_nodes=True,
+            )
+
+        payloads = _run_shards(context, tasks, workers, on_result)
+        graph = merge_tree_results(plan, payloads, recorder)
+
+    stats = plan.stats
+    stats.elapsed_seconds = time.perf_counter() - wall_started
+    obs.record_run_stats(run_name, stats)
+    if mode == "goal":
+        return GoalDrivenResult(
+            graph=graph, stats=stats, pruning_stats=plan.pruning_stats
+        )
+    return DeadlineResult(graph=graph, stats=stats)
+
+
+def parallel_goal_driven(
+    catalog: Catalog,
+    start_term: Term,
+    goal: Goal,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    pruners=None,
+    obs: Optional[Observability] = None,
+    cache=None,
+    workers: Optional[int] = 0,
+    split_depth: Optional[int] = None,
+) -> GoalDrivenResult:
+    """Process-sharded :func:`~repro.core.goal_driven.generate_goal_driven`.
+
+    Output-identical to the serial generator — graph node ids, path
+    order, stats counters, pruning stats, and decision-event streams all
+    match byte for byte; ``stats.elapsed_seconds`` reports this run's
+    wall time.  ``workers=0`` picks an automatic pool size;
+    ``split_depth=None`` picks the frontier level to shard at.
+    """
+    return _parallel_tree(
+        "goal", "goal_driven", catalog, start_term, goal, end_term,
+        completed, config, pruners, obs, cache, workers, split_depth,
+    )
+
+
+def parallel_deadline_driven(
+    catalog: Catalog,
+    start_term: Term,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    obs: Optional[Observability] = None,
+    cache=None,
+    workers: Optional[int] = 0,
+    split_depth: Optional[int] = None,
+) -> DeadlineResult:
+    """Process-sharded :func:`~repro.core.deadline.generate_deadline_driven`.
+
+    Output-identical to the serial Algorithm 1 run (see
+    :func:`parallel_goal_driven` for the guarantee's shape).
+    """
+    return _parallel_tree(
+        "deadline", "deadline", catalog, start_term, None, end_term,
+        completed, config, None, obs, cache, workers, split_depth,
+    )
+
+
+# -- ranked (top-k) -----------------------------------------------------------
+
+
+def parallel_ranked(
+    catalog: Catalog,
+    start_term: Term,
+    goal: Goal,
+    end_term: Term,
+    k: int,
+    ranking: RankingFunction,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    pruners=None,
+    obs: Optional[Observability] = None,
+    cache=None,
+    workers: Optional[int] = 0,
+    split_depth: Optional[int] = None,
+) -> RankedResult:
+    """Process-sharded :func:`~repro.core.ranked.generate_ranked`.
+
+    Each worker runs the serial best-first search re-rooted at one seed
+    (with ``initial_cost`` carrying the seed's absolute cost, so float
+    sums stay bit-identical); per-seed top-k lists are merged with the
+    prefix's early goal hits into the global top-k.  The returned *cost*
+    list equals the serial one exactly; at equal costs the path order
+    may differ (the serial heap breaks ties by insertion order, which
+    sharding cannot reproduce).  Stats are approximate — the prefix is
+    exhaustive where serial best-first stops early — and decision
+    recording is unsupported (raises :class:`~repro.errors.ExplorationError`).
+    """
+    config = config or ExplorationConfig()
+    workers = resolve_workers(workers)
+    if k < 1:
+        raise ExplorationError(f"k must be >= 1, got {k}")
+    _check_inputs(catalog, start_term, end_term, completed)
+    if obs is not None and obs.decisions is not None:
+        raise ExplorationError(
+            "ranked exploration cannot record decision events with workers; "
+            "run it serially (no --workers) for --explain"
+        )
+    horizon = int(end_term - start_term)
+    split = resolve_split_depth(split_depth, horizon)
+    wall_started = time.perf_counter()
+
+    (
+        ship_goal,
+        run_goal,
+        prefix_pruners,
+        pruner_classes,
+        time_pruner,
+        transpositions,
+    ) = _resolve_goal_setup(catalog, goal, end_term, config, pruners, cache)
+
+    if obs is None:
+        obs = NULL_OBSERVABILITY
+    progress = obs.progress
+    budget = obs.budget
+    if progress is not None:
+        progress.begin_run("ranked", horizon=horizon)
+    if budget is not None:
+        budget.arm()
+
+    with obs.run(
+        "ranked",
+        start=str(start_term),
+        end=str(end_term),
+        k=k,
+        workers=workers,
+        split_depth=split,
+    ):
+        prefix = walk_ranked_prefix(
+            catalog, start_term, run_goal, end_term, ranking, completed,
+            config, prefix_pruners, time_pruner, transpositions, split, obs, cache,
+        )
+        tasks = [
+            (index, seed.status.term, seed.status.completed, seed.cost)
+            for index, seed in enumerate(prefix.seeds)
+        ]
+        context = ShardContext(
+            mode="ranked",
+            catalog=catalog,
+            goal=ship_goal,
+            start_term=start_term,
+            end_term=end_term,
+            config=config,
+            pruner_classes=pruner_classes,
+            flow_entries=(
+                cache.flow_snapshot(FLOW_SNAPSHOT_LIMIT) if cache is not None else None
+            ),
+            use_cache=cache is not None,
+            ranking=ranking,
+            k=k,
+        )
+
+        def on_result(payload):
+            _fold_shard(
+                payload, prefix.stats, prefix.pruning_stats, config, obs,
+                "ranked", split, enforce_total_nodes=False,
+            )
+
+        payloads = _run_shards(context, tasks, workers, on_result)
+
+        # Global top-k: prefix candidates (group 0, discovery order) and
+        # per-shard rankings (group = shard index + 1, already cost-sorted)
+        # merged by (cost, group, rank).  Correct because every goal path
+        # crosses exactly one seed — a path outside its seed's top-k has
+        # >= k cheaper paths through that same seed, so it cannot be in
+        # the global top-k either.
+        merged = []
+        for index, (cost, statuses, selections) in enumerate(prefix.candidates):
+            merged.append(
+                (cost, 0, index, LearningPath(list(statuses), list(selections)))
+            )
+        for shard_index, payload in enumerate(payloads):
+            seed = prefix.seeds[shard_index]
+            for rank, (cost, path) in enumerate(
+                zip(payload["costs"], payload["paths"])
+            ):
+                stitched = LearningPath(
+                    list(seed.statuses[:-1]) + list(path.statuses),
+                    list(seed.selections) + list(path.selections),
+                )
+                merged.append((cost, shard_index + 1, rank, stitched))
+        merged.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        top = merged[:k]
+
+    stats = prefix.stats
+    stats.elapsed_seconds = time.perf_counter() - wall_started
+    obs.record_run_stats("ranked", stats)
+    return RankedResult(
+        paths=[entry[3] for entry in top],
+        costs=[entry[0] for entry in top],
+        ranking=ranking,
+        stats=stats,
+        pruning_stats=prefix.pruning_stats,
+        exhausted=len(top) < k,
+    )
+
+
+# -- frontier counting --------------------------------------------------------
+
+
+def _merge_frontier_counts(
+    prefix: FrontierCount,
+    shard_counts: Sequence[FrontierCount],
+    goal_mode: bool,
+    count_dead_ends: bool,
+) -> FrontierCount:
+    terminal_counts = dict(prefix.terminal_path_counts)
+    pruning = prefix.pruning_stats
+    widths = list(prefix.layer_widths)
+    base = len(widths)
+    for count in shard_counts:
+        for kind, value in count.terminal_path_counts.items():
+            terminal_counts[kind] = terminal_counts.get(kind, 0) + value
+        if pruning is not None and count.pruning_stats is not None:
+            pruning.merge(count.pruning_stats)
+        # widths[0] of every shard is its chunk of the split layer, which
+        # the prefix already counted as its last width.
+        for offset, width in enumerate(count.layer_widths[1:]):
+            index = base + offset
+            if index < len(widths):
+                widths[index] += width
+            else:
+                widths.append(width)
+    if goal_mode:
+        path_count = terminal_counts.get("goal", 0)
+    else:
+        path_count = terminal_counts.get("deadline", 0) + (
+            terminal_counts.get("dead_end", 0) if count_dead_ends else 0
+        )
+    return FrontierCount(
+        path_count=path_count,
+        peak_frontier=max(widths) if widths else 0,
+        total_states=sum(widths),
+        elapsed_seconds=0.0,
+        pruning_stats=pruning,
+        layer_widths=widths,
+        terminal_path_counts=terminal_counts,
+        remaining_frontier=None,
+    )
+
+
+def _parallel_frontier(
+    goal_mode: bool,
+    catalog: Catalog,
+    start_term: Term,
+    goal: Optional[Goal],
+    end_term: Term,
+    completed: AbstractSet[str],
+    config: Optional[ExplorationConfig],
+    pruners,
+    max_frontier: Optional[int],
+    obs: Optional[Observability],
+    cache,
+    workers: Optional[int],
+    split_depth: Optional[int],
+    count_dead_ends: bool,
+) -> FrontierCount:
+    config = config or ExplorationConfig()
+    workers = resolve_workers(workers)
+    _check_inputs(catalog, start_term, end_term, completed)
+    if obs is not None and obs.decisions is not None:
+        raise ExplorationError(
+            "frontier counting cannot record decision events with workers; "
+            "run it serially (no --workers) for --explain"
+        )
+    horizon = int(end_term - start_term)
+    split = resolve_split_depth(split_depth, horizon)
+    wall_started = time.perf_counter()
+    run_name = "frontier_goal" if goal_mode else "frontier_deadline"
+
+    ship_goal = run_goal = None
+    prefix_pruners: List = []
+    pruner_classes: Optional[tuple] = ()
+    time_pruner = None
+    if goal_mode:
+        (
+            ship_goal,
+            run_goal,
+            prefix_pruners,
+            pruner_classes,
+            time_pruner,
+            _transpositions,
+        ) = _resolve_goal_setup(catalog, goal, end_term, config, pruners, cache)
+
+    if obs is None:
+        obs = NULL_OBSERVABILITY
+    progress = obs.progress
+    budget = obs.budget
+    if progress is not None:
+        progress.begin_run(run_name, horizon=horizon)
+    if budget is not None:
+        budget.arm()
+
+    with obs.run(
+        run_name,
+        start=str(start_term),
+        end=str(end_term),
+        workers=workers,
+        split_depth=split,
+    ):
+        # The prefix DP gets a derived bundle sharing the tracer/metrics
+        # backends but not progress (the engine owns begin/finish) nor the
+        # budget (which is ticked here and per shard instead).
+        derived = Observability(
+            tracer=obs.tracer if obs.tracer.enabled else None, metrics=obs.metrics
+        )
+        prefix = _run_frontier(
+            catalog,
+            start_term,
+            end_term,
+            completed,
+            config,
+            run_goal,
+            prefix_pruners,
+            time_pruner,
+            count_dead_ends=count_dead_ends,
+            max_frontier=max_frontier,
+            obs=derived,
+            cache=cache,
+            stop_after_layers=split,
+        )
+        if progress is not None:
+            # Coarse: frontier DP has no per-node telemetry, so only the
+            # emitted-path figure is reported for the prefix layers.
+            counts = prefix.terminal_path_counts
+            progress.absorb_counts(
+                0,
+                emitted=counts.get("goal", 0) if goal_mode else 0,
+            )
+        remaining = prefix.remaining_frontier
+        if remaining is None:
+            result = prefix
+        else:
+            chunks = partition_frontier(remaining, workers)
+            context = ShardContext(
+                mode="frontier",
+                catalog=catalog,
+                goal=ship_goal,
+                start_term=start_term + split,
+                end_term=end_term,
+                config=config,
+                pruner_classes=pruner_classes,
+                flow_entries=(
+                    cache.flow_snapshot(FLOW_SNAPSHOT_LIMIT)
+                    if cache is not None and goal_mode
+                    else None
+                ),
+                use_cache=cache is not None,
+                count_dead_ends=count_dead_ends,
+                max_frontier=max_frontier,
+            )
+
+            def on_result(payload):
+                error = payload.get("error")
+                if error is not None:
+                    raise budget_exceeded(
+                        error["kind"], error["limit"], error["observed"],
+                        progress=progress, budget=budget,
+                    )
+                if budget is not None:
+                    budget.tick(None, progress)
+                _absorb_shard_observability(obs, "frontier", split, payload)
+                if progress is not None:
+                    shard_counts = payload["count"].terminal_path_counts
+                    progress.absorb_counts(
+                        split,
+                        emitted=shard_counts.get("goal", 0) if goal_mode else 0,
+                    )
+
+            payloads = _run_shards(
+                context, list(enumerate(chunks)), workers, on_result
+            )
+            result = _merge_frontier_counts(
+                prefix, [payload["count"] for payload in payloads],
+                goal_mode, count_dead_ends,
+            )
+
+    result.elapsed_seconds = time.perf_counter() - wall_started
+    return result
+
+
+def parallel_count_goal_paths(
+    catalog: Catalog,
+    start_term: Term,
+    goal: Goal,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    pruners=None,
+    max_frontier: Optional[int] = None,
+    obs: Optional[Observability] = None,
+    cache=None,
+    workers: Optional[int] = 0,
+    split_depth: Optional[int] = None,
+) -> FrontierCount:
+    """Process-sharded :func:`~repro.core.frontier.frontier_count_goal_paths`.
+
+    Path counts and terminal tallies are exact (the multiplicity DP is
+    linear in the frontier, so any partition sums to the serial answer);
+    layer widths, peak and total-state figures are upper bounds because
+    duplicate states in different chunks cannot merge.
+    """
+    return _parallel_frontier(
+        True, catalog, start_term, goal, end_term, completed, config,
+        pruners, max_frontier, obs, cache, workers, split_depth,
+        count_dead_ends=False,
+    )
+
+
+def parallel_count_deadline_paths(
+    catalog: Catalog,
+    start_term: Term,
+    end_term: Term,
+    completed: AbstractSet[str] = frozenset(),
+    config: Optional[ExplorationConfig] = None,
+    max_frontier: Optional[int] = None,
+    obs: Optional[Observability] = None,
+    cache=None,
+    workers: Optional[int] = 0,
+    split_depth: Optional[int] = None,
+) -> FrontierCount:
+    """Process-sharded
+    :func:`~repro.core.frontier.frontier_count_deadline_paths`."""
+    return _parallel_frontier(
+        False, catalog, start_term, None, end_term, completed, config,
+        None, max_frontier, obs, cache, workers, split_depth,
+        count_dead_ends=True,
+    )

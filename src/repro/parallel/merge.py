@@ -1,0 +1,75 @@
+"""Deterministic merge of shard results onto the prefix tree.
+
+Shard payloads arrive in completion order, but everything order-sensitive
+here is keyed by shard *index*: subtrees are grafted in seed order, the
+combined tree is renumbered by replaying the serial LIFO discipline
+(:meth:`~repro.graph.learning_graph.LearningGraph.canonicalize`), and
+decision events are re-emitted in the renumbered pop order with their
+graph context re-derived from the canonical node ids.  The output —
+node ids, ``paths()`` order, and the ``--explain`` event stream — is
+byte-identical to the serial run over the same query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..graph import LearningGraph
+from ..core.goal_driven import _graph_decision
+from .plan import BufferedEvent, PrefixPlan
+
+__all__ = ["merge_tree_results"]
+
+
+def _buffer_worker_events(
+    event_lookup: Dict[int, List[BufferedEvent]],
+    id_map: Dict[int, int],
+    events,
+) -> None:
+    """Translate a worker's decision events into prefix-graph buffers.
+
+    Only the event-specific payload survives (strategy / verdicts /
+    detail); node id, parent, term, selection and completed set are
+    re-derived from the canonical graph at replay time, which is exactly
+    how the serial generator builds them.
+    """
+    for event in events:
+        kwargs: Dict[str, Any] = {}
+        if event.strategy is not None:
+            kwargs["strategy"] = event.strategy
+        if event.verdicts:
+            kwargs["verdicts"] = event.verdicts
+        if event.detail:
+            kwargs["detail"] = event.detail
+        event_lookup.setdefault(id_map[event.node_id], []).append((event.kind, kwargs))
+
+
+def merge_tree_results(
+    plan: PrefixPlan,
+    payloads: Sequence[Optional[Dict[str, Any]]],
+    recorder,
+) -> LearningGraph:
+    """Grafts every shard graph onto the prefix and renumbers serially.
+
+    ``payloads`` must be ordered by shard index (``payloads[i]`` belongs
+    to ``plan.seed_ids[i]``).  When ``recorder`` is attached, the
+    buffered prefix events plus every worker's event stream are replayed
+    against the canonical graph in serial pop order.
+    """
+    event_lookup: Dict[int, List[BufferedEvent]] = {
+        node_id: list(buffered) for node_id, buffered in (plan.events or {}).items()
+    }
+    for seed_id, payload in zip(plan.seed_ids, payloads):
+        id_map = plan.graph.graft(seed_id, payload["graph"])
+        worker_events = payload.get("events")
+        if worker_events:
+            _buffer_worker_events(event_lookup, id_map, worker_events)
+
+    canonical, id_map, order = plan.graph.canonicalize()
+    if recorder is not None:
+        for old_id in order:
+            for kind, kwargs in event_lookup.get(old_id, ()):
+                recorder.record(
+                    _graph_decision(canonical, id_map[old_id], kind, **kwargs)
+                )
+    return canonical

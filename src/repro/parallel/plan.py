@@ -1,0 +1,468 @@
+"""Shard planning: serial prefix walks that stop at the split depth.
+
+The parallel engine runs the first ``split_depth`` levels of the search
+in-process, with exactly the serial algorithms' loop bodies, and defers
+every surviving node at the split depth (a *seed*) to a worker process.
+The walkers here are line-for-line mirrors of the serial generators with
+two changes:
+
+1. a popped node at ``depth >= split_depth`` is appended to the seed list
+   instead of being processed (its goal/deadline/prune checks happen in
+   the worker, whose loop body for the subtree root is identical to the
+   serial body for that node);
+2. decision events are *buffered* as ``(kind, kwargs)`` pairs keyed by
+   node id rather than recorded, because event payloads depend on node
+   ids and the combined tree is only renumbered into serial order after
+   the shards return (:func:`repro.parallel.merge.merge_tree_results`
+   replays the buffer then).
+
+Seeds are collected in the serial pop order (LIFO stack discovery), so
+shard indices are deterministic for a given query.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..catalog import Catalog
+from ..errors import ExplorationError
+from ..graph import LearningGraph
+from ..graph.status import EnrollmentStatus
+from ..obs.live import budget_exceeded
+from ..obs.runtime import Observability
+from ..requirements import Goal
+from ..semester import Term
+from ..core.config import ExplorationConfig
+from ..core.expansion import Expander
+from ..core.goal_driven import _selection_floor
+from ..core.pruning import (
+    Pruner,
+    PruningStats,
+    TimeBasedPruner,
+    examine_pruners,
+    first_firing_pruner,
+    suppressed_selection_count,
+)
+from ..core.ranking import RankingFunction
+from ..core.stats import ExplorationStats
+
+__all__ = [
+    "PrefixPlan",
+    "RankedPrefix",
+    "RankedSeed",
+    "partition_frontier",
+    "resolve_split_depth",
+    "walk_ranked_prefix",
+    "walk_tree_prefix",
+]
+
+#: Buffered decision: ``(kind, kwargs)`` — the event-specific keyword
+#: arguments the serial generator would have passed alongside the graph
+#: context (strategy / verdicts / detail).
+BufferedEvent = Tuple[str, Dict[str, Any]]
+
+
+class PrefixPlan:
+    """The in-process prefix of a sharded tree exploration."""
+
+    __slots__ = ("graph", "seed_ids", "stats", "pruning_stats", "events")
+
+    def __init__(
+        self,
+        graph: LearningGraph,
+        seed_ids: List[int],
+        stats: ExplorationStats,
+        pruning_stats: PruningStats,
+        events: Optional[Dict[int, List[BufferedEvent]]],
+    ):
+        self.graph = graph
+        #: Prefix-graph node ids deferred to workers, in serial pop order.
+        self.seed_ids = seed_ids
+        self.stats = stats
+        self.pruning_stats = pruning_stats
+        #: node id -> buffered decisions, present only when collecting.
+        self.events = events
+
+
+class RankedSeed:
+    """A best-first search node re-rooted in a worker process."""
+
+    __slots__ = ("status", "cost", "statuses", "selections")
+
+    def __init__(
+        self,
+        status: EnrollmentStatus,
+        cost: float,
+        statuses: Tuple[EnrollmentStatus, ...],
+        selections: Tuple[FrozenSet[str], ...],
+    ):
+        self.status = status
+        #: Absolute path cost accrued up to (and including the edge into)
+        #: the seed; the worker resumes accumulation from here so its
+        #: floating-point sums stay bit-identical to the serial run.
+        self.cost = cost
+        #: Root-to-seed statuses (seed last) — the prefix of every path
+        #: the worker's results are stitched onto.
+        self.statuses = statuses
+        self.selections = selections
+
+
+class RankedPrefix:
+    """The in-process prefix of a sharded ranked (top-k) search."""
+
+    __slots__ = ("candidates", "seeds", "stats", "pruning_stats")
+
+    def __init__(
+        self,
+        candidates: List[Tuple[float, Tuple[EnrollmentStatus, ...], Tuple[FrozenSet[str], ...]]],
+        seeds: List[RankedSeed],
+        stats: ExplorationStats,
+        pruning_stats: PruningStats,
+    ):
+        #: Goal paths that completed *above* the split depth, as
+        #: ``(cost, statuses, selections)`` in discovery order.
+        self.candidates = candidates
+        self.seeds = seeds
+        self.stats = stats
+        self.pruning_stats = pruning_stats
+
+
+def resolve_split_depth(split_depth: Optional[int], horizon: int) -> int:
+    """Validate an explicit split depth or pick one from the horizon.
+
+    The automatic choice is deliberately non-adaptive (no probing runs —
+    output equivalence is easier to reason about when the plan depends
+    only on the query): depth 2 gives enough seeds to occupy a small
+    pool on every catalog tried so far, while depth 1 is forced when the
+    horizon is a single term (there is nothing below depth 1 to shard).
+    """
+    if split_depth is None:
+        return 1 if horizon <= 1 else 2
+    split_depth = int(split_depth)
+    if split_depth < 1:
+        raise ExplorationError(f"split depth must be >= 1, got {split_depth}")
+    return split_depth
+
+
+def walk_tree_prefix(
+    mode: str,
+    catalog: Catalog,
+    start_term: Term,
+    goal: Optional[Goal],
+    end_term: Term,
+    completed: AbstractSet[str],
+    config: ExplorationConfig,
+    pruners: List[Pruner],
+    time_pruner: Optional[TimeBasedPruner],
+    transpositions,
+    split_depth: int,
+    obs: Observability,
+    cache,
+    collect_events: bool,
+) -> PrefixPlan:
+    """Serially explore depths ``0 .. split_depth - 1`` of a tree run.
+
+    ``mode`` is ``"goal"`` (mirrors
+    :func:`~repro.core.goal_driven.generate_goal_driven`) or
+    ``"deadline"`` (mirrors
+    :func:`~repro.core.deadline.generate_deadline_driven`).  The caller
+    owns the run scope, ``begin_run``/``arm`` and the final timer value;
+    this walker only accumulates counters for the nodes it processes.
+    """
+    stats = ExplorationStats()
+    pruning_stats = PruningStats()
+    stats.start_timer()
+    expander = Expander(catalog, end_term, config, obs=obs, cache=cache)
+    graph = LearningGraph(expander.initial_status(start_term, completed))
+    stats.record_node()
+
+    events: Optional[Dict[int, List[BufferedEvent]]] = {} if collect_events else None
+    seed_ids: List[int] = []
+    progress = obs.progress
+    budget = obs.budget
+
+    stack = [graph.root_id]
+    while stack:
+        node_id = stack.pop()
+        status = graph.status(node_id)
+        depth = int(status.term - start_term)
+        if depth >= split_depth:
+            # Deferred to a worker; the budget tick and every terminal
+            # check for this node happen in the shard.
+            seed_ids.append(node_id)
+            continue
+        if budget is not None:
+            budget.tick(stats, progress)
+
+        if mode == "goal":
+            if goal.is_satisfied(status.completed):
+                graph.mark_terminal(node_id, "goal")
+                stats.record_terminal("goal")
+                if progress is not None:
+                    progress.record_terminal("goal", depth)
+                    progress.record_emit()
+                if events is not None:
+                    events.setdefault(node_id, []).append(("goal", {}))
+                continue
+            if status.term >= end_term:
+                graph.mark_terminal(node_id, "deadline")
+                stats.record_terminal("deadline")
+                if progress is not None:
+                    progress.record_terminal("deadline", depth)
+                if events is not None:
+                    events.setdefault(node_id, []).append(("deadline", {}))
+                continue
+            if transpositions is not None:
+                with obs.phase("prune"):
+                    firing_name, verdict_dicts = transpositions.consult(
+                        pruners, status, obs, want_verdicts=collect_events
+                    )
+            elif not collect_events:
+                with obs.phase("prune"):
+                    firing = first_firing_pruner(pruners, status, obs)
+                firing_name = firing.name if firing is not None else None
+                verdict_dicts = None
+            else:
+                with obs.phase("prune"):
+                    firing, verdicts = examine_pruners(pruners, status, obs)
+                firing_name = firing.name if firing is not None else None
+                verdict_dicts = tuple(v.as_dict() for v in verdicts)
+            if firing_name is not None:
+                graph.mark_terminal(node_id, "pruned")
+                stats.record_terminal("pruned")
+                stats.record_prune(firing_name)
+                pruning_stats.record(firing_name)
+                if progress is not None:
+                    progress.record_pruned(depth)
+                if events is not None:
+                    events.setdefault(node_id, []).append(
+                        ("prune", {"strategy": firing_name, "verdicts": verdict_dicts})
+                    )
+                continue
+
+            floor = _selection_floor(time_pruner, config, status)
+            suppressed = suppressed_selection_count(len(status.options), floor)
+            if suppressed:
+                stats.record_prune("time", suppressed)
+                pruning_stats.record("time", suppressed)
+                if events is not None:
+                    events.setdefault(node_id, []).append(
+                        (
+                            "suppressed",
+                            {
+                                "strategy": "time",
+                                "detail": {
+                                    "suppressed": suppressed,
+                                    "floor": floor,
+                                    "option_count": len(status.options),
+                                },
+                            },
+                        )
+                    )
+        else:  # deadline mode
+            if status.term >= end_term:
+                graph.mark_terminal(node_id, "deadline")
+                stats.record_terminal("deadline")
+                if progress is not None:
+                    progress.record_terminal("deadline", depth)
+                    progress.record_emit()
+                continue
+            floor = 0
+
+        expanded = False
+        children = 0
+        with obs.phase("expand"):
+            for selection, child_status in expander.successors(
+                status, required_minimum=floor
+            ):
+                if config.max_nodes is not None and graph.num_nodes >= config.max_nodes:
+                    raise budget_exceeded(
+                        "nodes", config.max_nodes, graph.num_nodes,
+                        stats=stats, progress=progress, budget=budget,
+                    )
+                child_id = graph.add_child(node_id, selection, child_status)
+                stats.record_node()
+                stats.record_edge()
+                stack.append(child_id)
+                expanded = True
+                children += 1
+        if not expanded:
+            graph.mark_terminal(node_id, "dead_end")
+            stats.record_terminal("dead_end")
+            if progress is not None:
+                progress.record_terminal("dead_end", depth)
+                if mode != "goal":
+                    progress.record_emit()
+            if events is not None:
+                events.setdefault(node_id, []).append(("dead_end", {}))
+        else:
+            if progress is not None:
+                progress.record_expanded(depth, children)
+                progress.set_frontier(len(stack))
+            if events is not None:
+                events.setdefault(node_id, []).append(
+                    ("expand", {"detail": {"children": children}})
+                )
+
+    stats.stop_timer()
+    return PrefixPlan(graph, seed_ids, stats, pruning_stats, events)
+
+
+def walk_ranked_prefix(
+    catalog: Catalog,
+    start_term: Term,
+    goal: Goal,
+    end_term: Term,
+    ranking: RankingFunction,
+    completed: AbstractSet[str],
+    config: ExplorationConfig,
+    pruners: List[Pruner],
+    time_pruner: Optional[TimeBasedPruner],
+    transpositions,
+    split_depth: int,
+    obs: Observability,
+    cache,
+) -> RankedPrefix:
+    """Depth-first sweep of depths ``0 .. split_depth - 1`` for top-k runs.
+
+    Unlike the serial best-first search this enumerates the *entire*
+    shallow prefix (it cannot stop after k paths — a cheaper completion
+    could live under any seed), collecting goal paths that finish early
+    as candidates and every surviving split-depth node as a seed with its
+    absolute path cost.  Prune/floor handling matches
+    :func:`~repro.core.ranked.generate_ranked`; decision recording is
+    unsupported (the engine rejects it before calling here).
+    """
+    stats = ExplorationStats()
+    pruning_stats = PruningStats()
+    stats.start_timer()
+    expander = Expander(catalog, end_term, config, obs=obs, cache=cache)
+    root_status = expander.initial_status(start_term, completed)
+    stats.record_node()
+
+    candidates: List[
+        Tuple[float, Tuple[EnrollmentStatus, ...], Tuple[FrozenSet[str], ...]]
+    ] = []
+    seeds: List[RankedSeed] = []
+    generated = 1
+    progress = obs.progress
+    budget = obs.budget
+
+    with obs.phase("rank"):
+        root_bound = ranking.remaining_cost_bound(root_status, goal, config)
+    stack: List[
+        Tuple[EnrollmentStatus, float, Tuple[EnrollmentStatus, ...], Tuple[FrozenSet[str], ...]]
+    ] = []
+    if not math.isinf(root_bound):
+        stack.append((root_status, 0.0, (root_status,), ()))
+
+    while stack:
+        status, cost, statuses, selections = stack.pop()
+        depth = int(status.term - start_term)
+        if depth >= split_depth:
+            seeds.append(RankedSeed(status, cost, statuses, selections))
+            continue
+        if budget is not None:
+            budget.tick(stats, progress)
+
+        if goal.is_satisfied(status.completed):
+            candidates.append((cost, statuses, selections))
+            stats.record_terminal("goal")
+            if progress is not None:
+                progress.record_terminal("goal", depth)
+                progress.record_emit()
+            continue
+        if status.term >= end_term:
+            stats.record_terminal("deadline")
+            if progress is not None:
+                progress.record_terminal("deadline", depth)
+            continue
+        if transpositions is not None:
+            with obs.phase("prune"):
+                firing_name, _verdicts = transpositions.consult(
+                    pruners, status, obs, want_verdicts=False
+                )
+        else:
+            with obs.phase("prune"):
+                firing = first_firing_pruner(pruners, status, obs)
+            firing_name = firing.name if firing is not None else None
+        if firing_name is not None:
+            stats.record_terminal("pruned")
+            stats.record_prune(firing_name)
+            pruning_stats.record(firing_name)
+            if progress is not None:
+                progress.record_pruned(depth)
+            continue
+
+        floor = _selection_floor(time_pruner, config, status)
+        suppressed = suppressed_selection_count(len(status.options), floor)
+        if suppressed:
+            stats.record_prune("time", suppressed)
+            pruning_stats.record("time", suppressed)
+        expanded = False
+        children = 0
+        with obs.phase("expand"):
+            for selection, child_status in expander.successors(
+                status, required_minimum=floor
+            ):
+                with obs.phase("rank"):
+                    edge_cost = ranking.edge_cost(selection, status.term)
+                if edge_cost < 0:
+                    raise ExplorationError(
+                        f"ranking {ranking.name!r} produced a negative edge cost "
+                        f"({edge_cost}) — best-first ordering would be unsound"
+                    )
+                if math.isinf(edge_cost):
+                    continue
+                with obs.phase("rank"):
+                    bound = ranking.remaining_cost_bound(child_status, goal, config)
+                if math.isinf(bound):
+                    continue
+                generated += 1
+                if config.max_nodes is not None and generated > config.max_nodes:
+                    raise budget_exceeded(
+                        "nodes", config.max_nodes, generated,
+                        stats=stats, progress=progress, budget=budget,
+                    )
+                stats.record_node()
+                stats.record_edge()
+                stack.append(
+                    (
+                        child_status,
+                        cost + edge_cost,
+                        statuses + (child_status,),
+                        selections + (selection,),
+                    )
+                )
+                expanded = True
+                children += 1
+        if not expanded:
+            stats.record_terminal("dead_end")
+            if progress is not None:
+                progress.record_terminal("dead_end", depth)
+        else:
+            if progress is not None:
+                progress.record_expanded(depth, children)
+                progress.set_frontier(len(stack))
+
+    stats.stop_timer()
+    return RankedPrefix(candidates, seeds, stats, pruning_stats)
+
+
+def partition_frontier(
+    frontier: Dict[FrozenSet[str], int], shards: int
+) -> List[Dict[FrozenSet[str], int]]:
+    """Split a DP frontier layer into ``shards`` deterministic chunks.
+
+    States are ordered by their sorted course ids and dealt round-robin,
+    so chunk membership depends only on the layer's contents (never on
+    dict iteration order).  Path counts are exact under any partition —
+    the multiplicity-weighted DP is linear in the frontier — so the split
+    only needs to be balanced, not meaningful.
+    """
+    shards = max(1, min(shards, len(frontier)))
+    chunks: List[Dict[FrozenSet[str], int]] = [{} for _ in range(shards)]
+    for index, state in enumerate(sorted(frontier, key=lambda s: tuple(sorted(s)))):
+        chunks[index % shards][state] = frontier[state]
+    return chunks

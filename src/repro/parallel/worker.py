@@ -1,0 +1,247 @@
+"""Worker-process protocol for the parallel exploration engine.
+
+One :class:`ShardContext` is pickled into every worker at pool start-up
+(via the executor's ``initializer``); each task is then a tiny tuple —
+a shard index plus the seed's coordinates — so per-shard dispatch cost
+stays flat no matter how large the catalog is.  Workers rebuild their
+own :class:`~repro.cache.ExplorationCache` (optionally warm-started from
+the parent's flow-memo snapshot), run the unmodified serial generator on
+the subtree, and return a plain-dict payload the parent merges.
+
+Nothing here mutates shared state: the only channel back to the parent
+is the returned payload, which is what makes the deterministic merge
+argument in ``docs/parallel.md`` go through.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..cache import ExplorationCache
+from ..errors import BudgetExceededError, ExplorationError
+from ..obs.explain import DecisionRecorder
+from ..obs.runtime import NULL_OBSERVABILITY, Observability
+from ..core.deadline import generate_deadline_driven
+from ..core.frontier import _run_frontier
+from ..core.goal_driven import generate_goal_driven
+from ..core.pruning import PruningContext, TimeBasedPruner, default_pruners
+from ..core.ranked import generate_ranked
+
+__all__ = ["ShardContext", "execute_shard"]
+
+
+class ShardContext:
+    """Everything a worker needs, pickled once per pool.
+
+    ``goal`` must be the *unwrapped* goal (never a
+    :class:`~repro.cache.memos.CachedGoal` — those hold the parent's memo
+    and are not meant to cross processes); each worker wraps it against
+    its own cache.  ``pruner_classes`` is ``None`` for the paper's
+    default stack, an empty tuple for the unpruned baseline, or a tuple
+    of pruner classes, each reconstructed in the worker as
+    ``cls(pruning_context)`` — custom pruners ridden through the parallel
+    engine must therefore be constructible from a context alone (the
+    same convention :func:`~repro.core.pruning.default_pruners` follows).
+    """
+
+    __slots__ = (
+        "mode",
+        "catalog",
+        "goal",
+        "start_term",
+        "end_term",
+        "config",
+        "pruner_classes",
+        "want_events",
+        "flow_entries",
+        "use_cache",
+        "ranking",
+        "k",
+        "count_dead_ends",
+        "max_frontier",
+    )
+
+    def __init__(
+        self,
+        mode: str,
+        catalog,
+        goal,
+        start_term,
+        end_term,
+        config,
+        pruner_classes: Optional[Tuple[type, ...]] = None,
+        want_events: bool = False,
+        flow_entries=None,
+        use_cache: bool = False,
+        ranking=None,
+        k: Optional[int] = None,
+        count_dead_ends: bool = False,
+        max_frontier: Optional[int] = None,
+    ):
+        self.mode = mode
+        self.catalog = catalog
+        self.goal = goal
+        self.start_term = start_term
+        self.end_term = end_term
+        self.config = config
+        self.pruner_classes = pruner_classes
+        self.want_events = want_events
+        self.flow_entries = flow_entries
+        self.use_cache = use_cache
+        self.ranking = ranking
+        self.k = k
+        self.count_dead_ends = count_dead_ends
+        self.max_frontier = max_frontier
+
+
+#: Per-process context, installed by the pool initializer so tasks stay small.
+_CONTEXT: Optional[ShardContext] = None
+
+
+def _initialize_worker(context: ShardContext) -> None:
+    global _CONTEXT
+    _CONTEXT = context
+
+
+def _run_shard(task: Tuple) -> Dict[str, Any]:
+    if _CONTEXT is None:  # pragma: no cover - pool misconfiguration
+        raise RuntimeError("shard worker used before initialization")
+    return execute_shard(_CONTEXT, task)
+
+
+def _build_pruners(context: ShardContext, cache, goal):
+    """The worker-side pruner stack (``None`` lets the generator default)."""
+    if context.pruner_classes is None:
+        return None
+    if not context.pruner_classes:
+        return []
+    pruning_context = PruningContext(
+        catalog=context.catalog,
+        goal=goal,
+        end_term=context.end_term,
+        config=context.config,
+        cache=cache,
+    )
+    return [cls(pruning_context) for cls in context.pruner_classes]
+
+
+def execute_shard(context: ShardContext, task: Tuple) -> Dict[str, Any]:
+    """Run one shard and return its result payload.
+
+    A shard that trips its budget returns an ``error`` payload rather
+    than raising, so pool teardown stays orderly and the parent decides
+    how to surface the abort (with its own merged partial stats).
+    """
+    began = time.perf_counter()
+    cache = None
+    if context.use_cache:
+        cache = ExplorationCache()
+        if context.flow_entries:
+            cache.preload_flow(context.flow_entries)
+    payload: Dict[str, Any] = {"shard": task[0]}
+    try:
+        if context.mode == "goal":
+            _index, term, completed = task
+            obs = None
+            recorder = None
+            if context.want_events:
+                recorder = DecisionRecorder(keep_events=True)
+                obs = Observability(decisions=recorder)
+            result = generate_goal_driven(
+                context.catalog,
+                term,
+                context.goal,
+                context.end_term,
+                completed=completed,
+                config=context.config,
+                pruners=_build_pruners(
+                    context, cache, cache.wrap_goal(context.goal) if cache else context.goal
+                ),
+                obs=obs,
+                cache=cache,
+            )
+            payload.update(
+                graph=result.graph,
+                stats=result.stats,
+                pruning_stats=result.pruning_stats,
+                events=list(recorder.events) if recorder is not None else None,
+            )
+        elif context.mode == "deadline":
+            _index, term, completed = task
+            result = generate_deadline_driven(
+                context.catalog,
+                term,
+                context.end_term,
+                completed=completed,
+                config=context.config,
+                cache=cache,
+            )
+            payload.update(graph=result.graph, stats=result.stats)
+        elif context.mode == "ranked":
+            _index, term, completed, cost = task
+            result = generate_ranked(
+                context.catalog,
+                term,
+                context.goal,
+                context.end_term,
+                k=context.k,
+                ranking=context.ranking,
+                completed=completed,
+                config=context.config,
+                pruners=_build_pruners(
+                    context, cache, cache.wrap_goal(context.goal) if cache else context.goal
+                ),
+                cache=cache,
+                initial_cost=cost,
+            )
+            payload.update(
+                paths=result.paths,
+                costs=result.costs,
+                stats=result.stats,
+                pruning_stats=result.pruning_stats,
+            )
+        elif context.mode == "frontier":
+            _index, chunk = task
+            goal = context.goal
+            if cache is not None and goal is not None:
+                goal = cache.wrap_goal(goal)
+            pruners = _build_pruners(context, cache, goal) if goal is not None else []
+            if pruners is None:
+                pruning_context = PruningContext(
+                    catalog=context.catalog,
+                    goal=goal,
+                    end_term=context.end_term,
+                    config=context.config,
+                    cache=cache,
+                )
+                pruners = default_pruners(pruning_context)
+            time_pruner = next(
+                (p for p in pruners if isinstance(p, TimeBasedPruner)), None
+            )
+            count = _run_frontier(
+                context.catalog,
+                context.start_term,
+                context.end_term,
+                frozenset(),
+                context.config,
+                goal,
+                pruners,
+                time_pruner,
+                count_dead_ends=context.count_dead_ends,
+                max_frontier=context.max_frontier,
+                obs=NULL_OBSERVABILITY,
+                cache=cache,
+                initial_frontier=chunk,
+            )
+            payload.update(count=count)
+        else:
+            raise ExplorationError(f"unknown shard mode {context.mode!r}")
+    except BudgetExceededError as exc:
+        return {
+            "shard": task[0],
+            "error": {"kind": exc.kind, "limit": exc.limit, "observed": exc.observed},
+        }
+    payload["seconds"] = time.perf_counter() - began
+    payload["cache_counters"] = cache.counter_totals() if cache is not None else None
+    return payload

@@ -8,6 +8,7 @@ the exploration tasks:
     coursenavigator catalog
     coursenavigator deadline --start "Fall 2014" --end "Fall 2015"
     coursenavigator goal --start "Fall 2012" --end "Fall 2015" --count-only
+    coursenavigator goal --start "Fall 2013" --end "Fall 2015" --workers 4
     coursenavigator ranked --start "Fall 2013" --end "Fall 2015" -k 5 \\
         --ranking workload
     coursenavigator explain --start "Fall 2013" --end "Fall 2015" \\
@@ -143,6 +144,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="persist the flow memo under DIR (keyed by catalog content "
         "fingerprint, so catalog edits cold-start automatically); later "
         "runs against the same catalog warm-start from it",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the exploration across N worker processes with a "
+        "deterministic merge (0 picks an automatic pool size; "
+        "default: run serially)",
+    )
+    parser.add_argument(
+        "--split-depth",
+        type=int,
+        default=None,
+        metavar="DEPTH",
+        help="frontier depth at which subtrees are handed to workers "
+        "(default: chosen from the horizon; only used with --workers)",
     )
 
 
@@ -349,6 +367,14 @@ def _load(args: argparse.Namespace) -> CourseNavigator:
     )
 
 
+def _parallel_kwargs(args: argparse.Namespace) -> dict:
+    """``workers``/``split_depth`` pass-through for navigator calls."""
+    return {
+        "workers": getattr(args, "workers", None),
+        "split_depth": getattr(args, "split_depth", None),
+    }
+
+
 def _config(args: argparse.Namespace) -> ExplorationConfig:
     return ExplorationConfig(
         max_courses_per_term=args.max_per_term,
@@ -397,10 +423,14 @@ def _run_deadline(args: argparse.Namespace, out) -> int:
     config = _config(args)
     completed = frozenset(args.completed)
     if args.count_only:
-        count = navigator.count_deadline(start, end, completed=completed, config=config)
+        count = navigator.count_deadline(
+            start, end, completed=completed, config=config, **_parallel_kwargs(args)
+        )
         print(f"{count} deadline-driven paths from {start} to {end}", file=out)
         return 0
-    result = navigator.explore_deadline(start, end, completed=completed, config=config)
+    result = navigator.explore_deadline(
+        start, end, completed=completed, config=config, **_parallel_kwargs(args)
+    )
     print(
         f"{result.path_count} paths, {result.graph.num_nodes} nodes "
         f"({result.stats.elapsed_seconds:.3f}s)",
@@ -417,12 +447,16 @@ def _run_goal(args: argparse.Namespace, out) -> int:
     completed = frozenset(args.completed)
     goal = _goal(args)
     if args.count_only:
-        count = navigator.count_goal(start, goal, end, completed=completed, config=config)
+        count = navigator.count_goal(
+            start, goal, end, completed=completed, config=config,
+            **_parallel_kwargs(args),
+        )
         print(f"{count} goal paths ({goal.describe()}) from {start} to {end}", file=out)
         return 0
     pruners = [] if args.no_prune else None
     result = navigator.explore_goal(
-        start, goal, end, completed=completed, config=config, pruners=pruners
+        start, goal, end, completed=completed, config=config, pruners=pruners,
+        **_parallel_kwargs(args),
     )
     print(
         f"{result.path_count} goal paths, {result.graph.num_nodes} nodes, "
@@ -453,6 +487,7 @@ def _run_ranked(args: argparse.Namespace, out) -> int:
         ranking=args.ranking,
         completed=frozenset(args.completed),
         config=_config(args),
+        **_parallel_kwargs(args),
     )
     print(
         f"top-{args.k} by {args.ranking}: {len(result.paths)} paths "
@@ -482,6 +517,7 @@ def _run_explain(args: argparse.Namespace, out) -> int:
         completed=frozenset(args.completed),
         config=_config(args),
         pruners=[] if args.no_prune else None,
+        **_parallel_kwargs(args),
     )
     recorder.close()
     args._decisions = None  # already closed; keep main()'s finally from re-closing
@@ -578,6 +614,7 @@ def _run_export(args: argparse.Namespace, out) -> int:
         start, _goal(args), end,
         completed=frozenset(args.completed),
         config=_config(args),
+        **_parallel_kwargs(args),
     )
     if args.format == "dot":
         write_dot(result.graph, args.output, max_nodes=args.max_graph_nodes)

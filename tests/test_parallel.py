@@ -1,0 +1,404 @@
+"""Equivalence tests for the process-sharded engine (repro.parallel).
+
+The headline property: for the tree modes, a parallel run is
+byte-identical to the serial generator — same path sequences, node
+counts, stats counters, prune tallies, and ``--explain`` event streams —
+for any worker count and split depth.  Ranked mode matches on the cost
+list (and on the path *set* when ``k`` is exhaustive); frontier counting
+matches on path counts and terminal tallies.  Covered on the Brandeis
+catalog and on random catalogs, with and without a cache, plus budget
+aborts (clean worker shutdown), input validation, and the CLI surface.
+"""
+
+import multiprocessing
+import re
+
+import pytest
+
+from repro.cache import ExplorationCache
+from repro.core import (
+    ExplorationConfig,
+    generate_deadline_driven,
+    generate_goal_driven,
+    generate_ranked,
+)
+from repro.core.frontier import (
+    frontier_count_deadline_paths,
+    frontier_count_goal_paths,
+)
+from repro.core.pruning import PruningStats
+from repro.core.ranking import TimeRanking
+from repro.data import (
+    GeneratorSettings,
+    brandeis_catalog,
+    random_catalog,
+    random_course_set_goal,
+)
+from repro.errors import BudgetExceededError, ExplorationError
+from repro.obs import DecisionRecorder, Observability
+from repro.parallel import (
+    parallel_count_deadline_paths,
+    parallel_count_goal_paths,
+    parallel_deadline_driven,
+    parallel_goal_driven,
+    parallel_ranked,
+    resolve_split_depth,
+    resolve_workers,
+)
+from repro.requirements import CourseSetGoal
+from repro.semester import Term
+from repro.system.cli import main as cli_main
+from repro.system.navigator import CourseNavigator
+
+START = Term(2013, "Fall")
+MID = Term(2014, "Fall")
+END = Term(2015, "Fall")
+GOAL = CourseSetGoal({"COSI 11a", "COSI 21a", "COSI 29a"})
+CONFIG = ExplorationConfig(max_courses_per_term=3)
+
+TREE_GRIDS = [(1, 1), (2, 1), (2, 2), (4, 2)]
+
+
+def path_seq(result):
+    """The exact path sequence (order-sensitive) as comparable keys."""
+    return [
+        (
+            tuple(str(status.term) for status in path.statuses),
+            tuple(tuple(sorted(sel)) for sel in path.selections),
+        )
+        for path in result.paths()
+    ]
+
+
+def path_set(paths):
+    """An order-insensitive key for a ranked path list."""
+    return {
+        (
+            tuple(str(status.term) for status in path.statuses),
+            tuple(tuple(sorted(sel)) for sel in path.selections),
+        )
+        for path in paths
+    }
+
+
+def stats_key(stats):
+    key = stats.as_dict()
+    key.pop("elapsed_seconds")  # wall time is the one permitted difference
+    return key
+
+
+@pytest.fixture(scope="module")
+def brandeis():
+    return brandeis_catalog()
+
+
+@pytest.fixture(scope="module")
+def serial_goal(brandeis):
+    recorder = DecisionRecorder(keep_events=True)
+    result = generate_goal_driven(
+        brandeis, START, GOAL, END, config=CONFIG,
+        obs=Observability(decisions=recorder),
+    )
+    return result, recorder
+
+
+@pytest.fixture(scope="module")
+def serial_deadline(brandeis):
+    return generate_deadline_driven(brandeis, START, MID, config=CONFIG)
+
+
+class TestGoalEquivalence:
+    @pytest.mark.parametrize("workers,split", TREE_GRIDS)
+    def test_brandeis_byte_identical(self, brandeis, serial_goal, workers, split):
+        serial, serial_recorder = serial_goal
+        recorder = DecisionRecorder(keep_events=True)
+        par = parallel_goal_driven(
+            brandeis, START, GOAL, END, config=CONFIG,
+            obs=Observability(decisions=recorder),
+            workers=workers, split_depth=split,
+        )
+        assert par.path_count == serial.path_count
+        assert par.graph.num_nodes == serial.graph.num_nodes
+        assert path_seq(par) == path_seq(serial)
+        assert stats_key(par.stats) == stats_key(serial.stats)
+        assert par.pruning_stats.as_dict() == serial.pruning_stats.as_dict()
+        assert [e.as_dict() for e in recorder.events] == [
+            e.as_dict() for e in serial_recorder.events
+        ]
+
+    def test_cached_parallel_matches_uncached_serial(self, brandeis, serial_goal):
+        serial, _ = serial_goal
+        cache = ExplorationCache()
+        par = parallel_goal_driven(
+            brandeis, START, GOAL, END, config=CONFIG,
+            cache=cache, workers=2, split_depth=2,
+        )
+        assert path_seq(par) == path_seq(serial)
+        assert stats_key(par.stats) == stats_key(serial.stats)
+        # Worker cache traffic is folded back into the parent's totals.
+        totals = cache.counter_totals()
+        assert sum(c["hits"] + c["misses"] for c in totals.values()) > 0
+
+    def test_unpruned_baseline_matches(self, brandeis):
+        serial = generate_goal_driven(
+            brandeis, START, GOAL, MID, config=CONFIG, pruners=[]
+        )
+        par = parallel_goal_driven(
+            brandeis, START, GOAL, MID, config=CONFIG, pruners=[],
+            workers=2, split_depth=1,
+        )
+        assert path_seq(par) == path_seq(serial)
+        assert par.pruning_stats.total == 0
+
+
+class TestDeadlineEquivalence:
+    @pytest.mark.parametrize("workers,split", [(2, 1), (2, 2)])
+    def test_brandeis_byte_identical(self, brandeis, serial_deadline, workers, split):
+        par = parallel_deadline_driven(
+            brandeis, START, MID, config=CONFIG,
+            workers=workers, split_depth=split,
+        )
+        assert par.path_count == serial_deadline.path_count
+        assert par.graph.num_nodes == serial_deadline.graph.num_nodes
+        assert path_seq(par) == path_seq(serial_deadline)
+        assert stats_key(par.stats) == stats_key(serial_deadline.stats)
+
+
+class TestRankedEquivalence:
+    @pytest.mark.parametrize("workers,split", [(2, 1), (2, 2), (4, 2)])
+    def test_costs_identical(self, brandeis, workers, split):
+        ranking = TimeRanking()
+        serial = generate_ranked(
+            brandeis, START, GOAL, END, k=10, ranking=ranking, config=CONFIG
+        )
+        par = parallel_ranked(
+            brandeis, START, GOAL, END, k=10, ranking=ranking, config=CONFIG,
+            workers=workers, split_depth=split,
+        )
+        assert par.costs == serial.costs
+        assert len(par.paths) == len(serial.paths)
+
+    def test_exhaustive_k_path_sets_equal(self, brandeis):
+        ranking = TimeRanking()
+        serial = generate_ranked(
+            brandeis, START, GOAL, MID, k=100_000, ranking=ranking, config=CONFIG
+        )
+        par = parallel_ranked(
+            brandeis, START, GOAL, MID, k=100_000, ranking=ranking, config=CONFIG,
+            workers=2, split_depth=1,
+        )
+        assert par.costs == serial.costs
+        assert path_set(par.paths) == path_set(serial.paths)
+        assert par.exhausted == serial.exhausted
+
+    def test_rejects_decision_recording(self, brandeis):
+        with pytest.raises(ExplorationError, match="serially"):
+            parallel_ranked(
+                brandeis, START, GOAL, END, k=5, ranking=TimeRanking(),
+                config=CONFIG, workers=2,
+                obs=Observability(decisions=DecisionRecorder(keep_events=True)),
+            )
+
+
+class TestFrontierEquivalence:
+    @pytest.mark.parametrize("workers,split", [(2, 1), (2, 2), (4, 2)])
+    def test_goal_counts_exact(self, brandeis, serial_goal, workers, split):
+        serial = frontier_count_goal_paths(
+            brandeis, START, GOAL, END, config=CONFIG
+        )
+        par = parallel_count_goal_paths(
+            brandeis, START, GOAL, END, config=CONFIG,
+            workers=workers, split_depth=split,
+        )
+        assert par.path_count == serial.path_count == serial_goal[0].path_count
+        assert par.terminal_path_counts == serial.terminal_path_counts
+
+    def test_deadline_counts_exact(self, brandeis, serial_deadline):
+        serial = frontier_count_deadline_paths(brandeis, START, MID, config=CONFIG)
+        par = parallel_count_deadline_paths(
+            brandeis, START, MID, config=CONFIG, workers=2, split_depth=1,
+        )
+        assert par.path_count == serial.path_count == serial_deadline.path_count
+        assert par.terminal_path_counts == serial.terminal_path_counts
+
+    def test_widths_are_upper_bounds(self, brandeis):
+        serial = frontier_count_goal_paths(brandeis, START, GOAL, END, config=CONFIG)
+        par = parallel_count_goal_paths(
+            brandeis, START, GOAL, END, config=CONFIG, workers=2, split_depth=2,
+        )
+        assert par.total_states >= serial.total_states
+        assert par.peak_frontier >= serial.peak_frontier
+
+    def test_rejects_decision_recording(self, brandeis):
+        with pytest.raises(ExplorationError, match="serially"):
+            parallel_count_goal_paths(
+                brandeis, START, GOAL, END, config=CONFIG, workers=2,
+                obs=Observability(decisions=DecisionRecorder(keep_events=True)),
+            )
+
+
+class TestRandomCatalogs:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_goal_equivalence(self, seed):
+        settings = GeneratorSettings(n_courses=10, n_terms=4)
+        catalog = random_catalog(seed, settings)
+        goal = random_course_set_goal(catalog, seed, size=2)
+        start = settings.start_term
+        end = start + (settings.n_terms - 1)
+        serial = generate_goal_driven(catalog, start, goal, end, config=CONFIG)
+        par = parallel_goal_driven(
+            catalog, start, goal, end, config=CONFIG, workers=2, split_depth=1,
+        )
+        assert path_seq(par) == path_seq(serial)
+        assert stats_key(par.stats) == stats_key(serial.stats)
+        assert par.pruning_stats.as_dict() == serial.pruning_stats.as_dict()
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_deadline_and_counts(self, seed):
+        settings = GeneratorSettings(n_courses=10, n_terms=4)
+        catalog = random_catalog(seed, settings)
+        start = settings.start_term
+        end = start + (settings.n_terms - 1)
+        serial = generate_deadline_driven(catalog, start, end, config=CONFIG)
+        par = parallel_deadline_driven(
+            catalog, start, end, config=CONFIG, workers=2, split_depth=1,
+        )
+        assert path_seq(par) == path_seq(serial)
+        count = parallel_count_deadline_paths(
+            catalog, start, end, config=CONFIG, workers=2, split_depth=1,
+        )
+        assert count.path_count == serial.path_count
+
+
+class TestBudgetAbort:
+    def test_max_nodes_aborts_both_ways_and_workers_exit(self, brandeis):
+        config = ExplorationConfig(max_courses_per_term=3, max_nodes=500)
+        with pytest.raises(BudgetExceededError) as serial_exc:
+            generate_goal_driven(brandeis, START, GOAL, END, config=config)
+        with pytest.raises(BudgetExceededError) as par_exc:
+            parallel_goal_driven(
+                brandeis, START, GOAL, END, config=config,
+                workers=2, split_depth=1,
+            )
+        assert serial_exc.value.kind == par_exc.value.kind == "nodes"
+        assert par_exc.value.limit == 500
+        assert par_exc.value.partial_stats is not None
+        assert par_exc.value.partial_stats.nodes_created > 0
+        # The pool is shut down with cancel_futures before the abort
+        # propagates — no orphaned worker processes.
+        assert multiprocessing.active_children() == []
+
+    def test_success_preserved_when_tree_fits(self, brandeis, serial_deadline):
+        fits = ExplorationConfig(
+            max_courses_per_term=3,
+            max_nodes=serial_deadline.graph.num_nodes,
+        )
+        par = parallel_deadline_driven(
+            brandeis, START, MID, config=fits, workers=2, split_depth=1,
+        )
+        assert par.path_count == serial_deadline.path_count
+
+
+class TestValidationAndHelpers:
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ExplorationError):
+            resolve_workers(-1)
+
+    def test_resolve_split_depth(self):
+        assert resolve_split_depth(3, horizon=8) == 3
+        assert resolve_split_depth(None, horizon=1) == 1
+        assert resolve_split_depth(None, horizon=4) == 2
+        with pytest.raises(ExplorationError):
+            resolve_split_depth(0, horizon=4)
+
+    def test_end_before_start_rejected(self, brandeis):
+        with pytest.raises(ExplorationError):
+            parallel_goal_driven(
+                brandeis, END, GOAL, START, config=CONFIG, workers=2
+            )
+
+    def test_pruning_stats_merge_sums(self):
+        left = PruningStats()
+        left.record("time_based", 2)
+        right = PruningStats()
+        right.record("time_based", 1)
+        right.record("availability", 4)
+        assert left.merge(right) is left
+        assert left.as_dict() == {"time_based": 3, "availability": 4}
+        assert left.total == 7
+
+
+class TestNavigatorRouting:
+    def test_explore_goal_workers_kwarg(self, brandeis):
+        navigator = CourseNavigator(brandeis)
+        serial = navigator.explore_goal(START, GOAL, MID, config=CONFIG)
+        par = navigator.explore_goal(
+            START, GOAL, MID, config=CONFIG, workers=2, split_depth=1
+        )
+        assert path_seq(par) == path_seq(serial)
+
+    def test_count_goal_workers_kwarg(self, brandeis):
+        navigator = CourseNavigator(brandeis)
+        assert navigator.count_goal(
+            START, GOAL, MID, config=CONFIG, workers=2
+        ) == navigator.count_goal(START, GOAL, MID, config=CONFIG)
+
+
+TIMING = re.compile(r"\([0-9.]+s\)")
+
+
+def run_cli(capsys, *argv):
+    code = cli_main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCli:
+    GOAL_ARGS = (
+        "goal",
+        "--start", "Fall 2013",
+        "--end", "Fall 2014",
+        "--goal-courses", "COSI 11a", "COSI 21a", "COSI 29a",
+        "--limit", "3",
+    )
+
+    def test_workers_stdout_identical_modulo_timing(self, capsys):
+        code_s, out_s, _ = run_cli(capsys, *self.GOAL_ARGS)
+        code_p, out_p, _ = run_cli(capsys, *self.GOAL_ARGS, "--workers", "2")
+        assert code_s == code_p == 0
+        assert TIMING.sub("(T)", out_p) == TIMING.sub("(T)", out_s)
+
+    def test_workers_zero_is_auto(self, capsys):
+        code, out, _ = run_cli(capsys, *self.GOAL_ARGS, "--workers", "0")
+        assert code == 0
+        assert "goal paths" in out
+
+    def test_count_only_with_workers(self, capsys):
+        code_s, out_s, _ = run_cli(capsys, *self.GOAL_ARGS[:-2], "--count-only")
+        code_p, out_p, _ = run_cli(
+            capsys, *self.GOAL_ARGS[:-2], "--count-only", "--workers", "2"
+        )
+        assert code_s == code_p == 0
+        assert out_p == out_s
+        assert out_p.startswith("48 goal paths")
+
+    def test_ranked_explain_with_workers_exits_2(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys,
+            "ranked",
+            "--start", "Fall 2013",
+            "--end", "Fall 2014",
+            "--goal-courses", "COSI 11a", "COSI 21a", "COSI 29a",
+            "--workers", "2",
+            "--explain", str(tmp_path / "audit.jsonl"),
+        )
+        assert code == 2
+        assert "serially" in err
+
+    def test_negative_workers_exits_2(self, capsys):
+        code, _out, err = run_cli(capsys, *self.GOAL_ARGS, "--workers", "-1")
+        assert code == 2
+        assert "workers" in err
